@@ -1,0 +1,186 @@
+package storagesched
+
+// One benchmark per figure and claim of the paper (regenerating the
+// corresponding experiment end to end; see DESIGN.md §4 and
+// EXPERIMENTS.md), plus microbenchmarks of every algorithm at the
+// sizes the experiments use. Run with:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFIG3 -benchmem   # one figure only
+
+import (
+	"io"
+	"testing"
+
+	"storagesched/internal/core"
+	"storagesched/internal/exp"
+	"storagesched/internal/gen"
+	"storagesched/internal/hardness"
+	"storagesched/internal/makespan"
+	"storagesched/internal/pareto"
+)
+
+// benchExperiment regenerates one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// Figures.
+
+func BenchmarkFIG1(b *testing.B) { benchExperiment(b, "FIG1") }
+func BenchmarkFIG2(b *testing.B) { benchExperiment(b, "FIG2") }
+func BenchmarkFIG3(b *testing.B) { benchExperiment(b, "FIG3") }
+
+// Quantitative claims.
+
+func BenchmarkPROP12(b *testing.B) { benchExperiment(b, "PROP12") }
+func BenchmarkCOR1(b *testing.B)   { benchExperiment(b, "COR1") }
+func BenchmarkLEM12(b *testing.B)  { benchExperiment(b, "LEM12") }
+func BenchmarkLEM3(b *testing.B)   { benchExperiment(b, "LEM3") }
+func BenchmarkCOR23(b *testing.B)  { benchExperiment(b, "COR23") }
+func BenchmarkLEM6(b *testing.B)   { benchExperiment(b, "LEM6") }
+func BenchmarkCOR4(b *testing.B)   { benchExperiment(b, "COR4") }
+func BenchmarkSEC7(b *testing.B)   { benchExperiment(b, "SEC7") }
+
+// Ablations.
+
+func BenchmarkABL1(b *testing.B) { benchExperiment(b, "ABL1") }
+func BenchmarkABL2(b *testing.B) { benchExperiment(b, "ABL2") }
+func BenchmarkABL3(b *testing.B) { benchExperiment(b, "ABL3") }
+
+// Extensions (the paper's future-work directions, built out).
+
+func BenchmarkEXT1(b *testing.B) { benchExperiment(b, "EXT1") }
+func BenchmarkEXT2(b *testing.B) { benchExperiment(b, "EXT2") }
+func BenchmarkEXT3(b *testing.B) { benchExperiment(b, "EXT3") }
+func BenchmarkEXT4(b *testing.B) { benchExperiment(b, "EXT4") }
+
+// Algorithm microbenchmarks.
+
+func benchSBO(b *testing.B, n, m int, alg makespan.Algorithm) {
+	in := gen.Uniform(n, m, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SBO(in, 1.0, alg, alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSBO_LS_n100(b *testing.B)   { benchSBO(b, 100, 8, makespan.ListScheduling{}) }
+func BenchmarkSBO_LPT_n100(b *testing.B)  { benchSBO(b, 100, 8, makespan.LPT{}) }
+func BenchmarkSBO_LPT_n1000(b *testing.B) { benchSBO(b, 1000, 32, makespan.LPT{}) }
+func BenchmarkSBO_LPT_n10000(b *testing.B) {
+	benchSBO(b, 10000, 64, makespan.LPT{})
+}
+
+func benchRLSDag(b *testing.B, n, m int) {
+	g := gen.LayeredDAG(m, n/4, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RLS(g, 3.0, core.TieBottomLevel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRLS_DAG_n100(b *testing.B)  { benchRLSDag(b, 100, 8) }
+func BenchmarkRLS_DAG_n400(b *testing.B)  { benchRLSDag(b, 400, 16) }
+func BenchmarkRLS_DAG_n1000(b *testing.B) { benchRLSDag(b, 1000, 32) }
+
+func BenchmarkRLS_Independent_n1000(b *testing.B) {
+	in := gen.Uniform(1000, 32, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RLSIndependent(in, 3.0, core.TieSPT); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstrainedIndependent_n200(b *testing.B) {
+	in := gen.EmbeddedCode(200, 16, 1)
+	lb := MemLB(in.S(), in.M)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.ConstrainedIndependent(in, 2*lb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMakespan(b *testing.B, alg makespan.Algorithm, n, m int) {
+	in := gen.Uniform(n, m, 1)
+	sizes := in.P()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Assign(sizes, m)
+	}
+}
+
+func BenchmarkMakespan_LS_n1000(b *testing.B)       { benchMakespan(b, makespan.ListScheduling{}, 1000, 32) }
+func BenchmarkMakespan_LPT_n1000(b *testing.B)      { benchMakespan(b, makespan.LPT{}, 1000, 32) }
+func BenchmarkMakespan_Multifit_n1000(b *testing.B) { benchMakespan(b, makespan.Multifit{}, 1000, 32) }
+func BenchmarkMakespan_PTAS_eps50_n100(b *testing.B) {
+	benchMakespan(b, makespan.PTAS{Epsilon: 0.5}, 100, 8)
+}
+func BenchmarkMakespan_PTAS_eps25_n40(b *testing.B) {
+	benchMakespan(b, makespan.PTAS{Epsilon: 0.25}, 40, 8)
+}
+
+func BenchmarkMakespan_ExactDP_n16(b *testing.B) {
+	in := gen.Uniform(16, 4, 1)
+	sizes := in.P()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		makespan.ExactDP{}.Solve(sizes, 4)
+	}
+}
+
+func BenchmarkMakespan_BnB_n24(b *testing.B) {
+	in := gen.Uniform(24, 4, 1)
+	sizes := in.P()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		makespan.BranchAndBound{}.Solve(sizes, 4)
+	}
+}
+
+func BenchmarkParetoFront_n12(b *testing.B) {
+	in := gen.Uniform(12, 3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pareto.Front(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParetoFront_Lemma2_m3k3(b *testing.B) {
+	in := hardness.Lemma2Instance(3, 3, 9*64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pareto.Front(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command geninstance emits a random instance as JSON for schedcli and
+// paretoviz.
+//
+//	geninstance -family uniform -n 20 -m 4 -seed 7 > instance.json
+//	geninstance -family lemma1 > fig1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"storagesched/internal/gen"
+	"storagesched/internal/hardness"
+	"storagesched/internal/model"
+)
+
+func main() {
+	family := flag.String("family", "uniform",
+		"family: uniform | correlated | anticorrelated | embedded | gridbatch | lemma1 | lemma3")
+	n := flag.Int("n", 20, "number of tasks")
+	m := flag.Int("m", 4, "number of processors")
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Int64("scale", 4096, "scale for the lemma instances (eps = 1/scale)")
+	flag.Parse()
+
+	if err := emit(os.Stdout, *family, *n, *m, *seed, *scale); err != nil {
+		fmt.Fprintf(os.Stderr, "geninstance: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// emit writes the requested instance as JSON.
+func emit(w io.Writer, family string, n, m int, seed, scale int64) error {
+	var in *model.Instance
+	switch family {
+	case "lemma1":
+		in = hardness.Lemma1Instance(scale)
+	case "lemma3":
+		in = hardness.Lemma3Instance(scale, scale/8)
+	default:
+		for _, fam := range gen.Families() {
+			if fam.Name == family {
+				in = fam.Gen(n, m, seed)
+				break
+			}
+		}
+		if in == nil {
+			return fmt.Errorf("unknown family %q", family)
+		}
+	}
+	return in.WriteJSON(w)
+}

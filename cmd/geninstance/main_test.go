@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"storagesched/internal/model"
+)
+
+func TestEmitFamilies(t *testing.T) {
+	for _, family := range []string{"uniform", "correlated", "anticorrelated", "embedded", "gridbatch"} {
+		var buf bytes.Buffer
+		if err := emit(&buf, family, 12, 3, 1, 4096); err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		in, err := model.ReadInstanceJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", family, err)
+		}
+		if in.N() != 12 || in.M != 3 {
+			t.Errorf("%s: shape n=%d m=%d", family, in.N(), in.M)
+		}
+	}
+}
+
+func TestEmitLemmaInstances(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emit(&buf, "lemma1", 0, 0, 0, 64); err != nil {
+		t.Fatalf("lemma1: %v", err)
+	}
+	in, err := model.ReadInstanceJSON(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if in.N() != 3 || in.M != 2 {
+		t.Errorf("lemma1 shape n=%d m=%d", in.N(), in.M)
+	}
+	buf.Reset()
+	if err := emit(&buf, "lemma3", 0, 0, 0, 64); err != nil {
+		t.Fatalf("lemma3: %v", err)
+	}
+}
+
+func TestEmitUnknownFamily(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emit(&buf, "nope", 1, 1, 1, 64); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

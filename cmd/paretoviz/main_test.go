@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	sched "storagesched"
+)
+
+func TestRunParetoViz(t *testing.T) {
+	in := sched.NewInstance(2, []sched.Time{4, 2, 2}, []sched.Mem{1, 4, 4})
+	path := filepath.Join(t.TempDir(), "inst.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	if err := run(path, 30); err != nil {
+		t.Errorf("run: %v", err)
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), 30); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command schedcli schedules a JSON instance with a chosen algorithm
+// and prints the objectives and an ASCII Gantt chart.
+//
+//	schedcli -alg sbo -delta 1 < instance.json
+//	schedcli -in instance.json -alg rls -delta 3 -tie spt
+//	schedcli -in instance.json -alg constrained -budget 120
+//
+// The instance format is the one produced by geninstance:
+//
+//	{"m": 2, "tasks": [{"id":0,"p":4,"s":1}, ...]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	sched "storagesched"
+)
+
+func main() {
+	inPath := flag.String("in", "", "instance JSON file (default: stdin)")
+	alg := flag.String("alg", "sbo", "algorithm: sbo | rls | lpt | ls | constrained")
+	delta := flag.Float64("delta", 1.0, "SBO/RLS parameter delta")
+	tieName := flag.String("tie", "spt", "RLS tie-break: id | spt | lpt | blevel")
+	budget := flag.Int64("budget", -1, "memory budget for -alg constrained")
+	showGantt := flag.Bool("gantt", true, "render an ASCII Gantt chart")
+	width := flag.Int("width", 60, "Gantt width in columns")
+	flag.Parse()
+
+	if err := run(*inPath, *alg, *delta, *tieName, *budget, *showGantt, *width); err != nil {
+		fmt.Fprintf(os.Stderr, "schedcli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, alg string, delta float64, tieName string, budget int64, showGantt bool, width int) error {
+	var r io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	in, err := sched.ReadInstanceJSON(r)
+	if err != nil {
+		return err
+	}
+
+	var tie sched.TieBreak
+	switch tieName {
+	case "id":
+		tie = sched.TieByID
+	case "spt":
+		tie = sched.TieSPT
+	case "lpt":
+		tie = sched.TieLPT
+	case "blevel":
+		tie = sched.TieBottomLevel
+	default:
+		return fmt.Errorf("unknown tie-break %q", tieName)
+	}
+
+	rec := sched.BoundsForInstance(in)
+	fmt.Printf("instance: n=%d m=%d  lower bounds: Cmax >= %d, Mmax >= %d\n\n", in.N(), in.M, rec.CmaxLB, rec.MmaxLB)
+
+	var a sched.Assignment
+	switch alg {
+	case "sbo":
+		res, err := sched.SBOWithLPT(in, delta)
+		if err != nil {
+			return err
+		}
+		a = res.Assignment
+		rc, rm := sched.SBORatio(delta, sched.LPT{}.Ratio(in.M), sched.LPT{}.Ratio(in.M))
+		fmt.Printf("SBO(delta=%g, LPT): guarantee (%.3f, %.3f)\n", delta, rc, rm)
+	case "rls":
+		res, err := sched.RLSIndependent(in, delta, tie)
+		if err != nil {
+			return err
+		}
+		a = res.Schedule.Assignment()
+		fmt.Printf("RLS(delta=%g, tie=%s): Mmax guarantee %.3f*LB, Cmax guarantee %.3f\n",
+			delta, tie, delta, sched.RLSCmaxRatio(delta, in.M))
+	case "lpt":
+		a = sched.LPT{}.Assign(in.P(), in.M)
+		fmt.Printf("LPT on processing times only (memory unmanaged)\n")
+	case "ls":
+		a = sched.ListScheduling{}.Assign(in.P(), in.M)
+		fmt.Printf("List scheduling on processing times only (memory unmanaged)\n")
+	case "constrained":
+		if budget < 0 {
+			return fmt.Errorf("-alg constrained needs -budget")
+		}
+		res, v, err := sched.ConstrainedIndependent(in, budget)
+		if err != nil {
+			return err
+		}
+		a = res
+		fmt.Printf("constrained solve: budget=%d achieved (Cmax=%d, Mmax=%d)\n", budget, v.Cmax, v.Mmax)
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+
+	fmt.Printf("objectives: Cmax=%d (ratio %.4f vs LB)  Mmax=%d (ratio %.4f vs LB)\n\n",
+		in.Cmax(a), float64(in.Cmax(a))/float64(rec.CmaxLB),
+		in.Mmax(a), float64(in.Mmax(a))/float64(rec.MmaxLB))
+	if showGantt {
+		return sched.RenderAssignment(os.Stdout, in, a, sched.GanttOptions{Width: width, ShowMemory: true})
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	sched "storagesched"
+)
+
+// writeInstance writes a small JSON instance to a temp file.
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	in := sched.NewInstance(2,
+		[]sched.Time{9, 4, 6, 2, 7},
+		[]sched.Mem{3, 8, 1, 5, 2})
+	path := filepath.Join(t.TempDir(), "inst.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := in.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	path := writeInstance(t)
+	// Redirect stdout noise away from the test log.
+	old := os.Stdout
+	devnull, _ := os.Open(os.DevNull)
+	defer devnull.Close()
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	for _, alg := range []string{"sbo", "rls", "lpt", "ls"} {
+		if err := run(path, alg, 3, "spt", -1, true, 40); err != nil {
+			t.Errorf("alg %s: %v", alg, err)
+		}
+	}
+	if err := run(path, "constrained", 1, "spt", 100, false, 40); err != nil {
+		t.Errorf("constrained: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	path := writeInstance(t)
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	if err := run(path, "bogus", 1, "spt", -1, false, 40); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(path, "rls", 3, "bogus", -1, false, 40); err == nil {
+		t.Error("unknown tie-break accepted")
+	}
+	if err := run(path, "constrained", 1, "spt", -1, false, 40); err == nil {
+		t.Error("constrained without budget accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "sbo", 1, "spt", -1, false, 40); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Grid physics batch: the large-physics motivation from the paper's
+// introduction (ATLAS-style production on a grid site). Jobs store
+// their output on the worker node that ran them; the site wants short
+// total runs (Cmax), bounded per-node storage (Mmax) *and* early
+// partial results (mean completion time) — the tri-objective setting
+// of Section 5.2.
+//
+// The run has two parts:
+//
+//  1. the tri-objective RLS-SPT sweep over delta, which shows a finding
+//     worth knowing: on statistically mixed batches the storage
+//     guarantee is nearly free (measured Mmax sits close to the lower
+//     bound whatever delta allows — delta is worst-case protection);
+//
+//  2. a hard per-node storage budget sweep (the Section 7 constrained
+//     problem), where tight budgets genuinely cost makespan and mean
+//     completion time — the practical tradeoff a site operator tunes.
+//
+//     go run ./examples/gridphysics
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	sched "storagesched"
+)
+
+func main() {
+	const (
+		nJobs  = 250
+		nNodes = 16
+		seed   = 7
+	)
+	in := sched.GenGridBatch(nJobs, nNodes, seed)
+	rec := sched.BoundsForInstance(in)
+	fmt.Printf("grid batch: %d jobs on %d worker nodes\n", in.N(), in.M)
+	fmt.Printf("lower bounds: Cmax >= %d, per-node storage >= %d, SumCi >= %d\n\n",
+		rec.CmaxLB, rec.MmaxLB, rec.SumCiLB)
+
+	// Part 1 — tri-objective RLS-SPT (Corollary 4).
+	fmt.Println("part 1: RLS-SPT delta sweep (guarantees vs measurements)")
+	fmt.Printf("%6s | %8s %18s | %8s %14s | %8s %14s\n",
+		"delta", "Cmax", "ratio (bound)", "Mmax", "ratio (bound)", "meanCi", "ratio (bound)")
+	for _, delta := range []float64{2.5, 3, 4, 10} {
+		res, err := sched.RLSIndependent(in, delta, sched.TieSPT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meanCi := float64(res.SumCi) / float64(in.N())
+		optMean := float64(rec.SumCiLB) / float64(in.N())
+		fmt.Printf("%6.1f | %8d %8.4f (%6.3f) | %8d %6.4f (%4.1f) | %8.0f %6.4f (%5.2f)\n",
+			delta,
+			res.Cmax, float64(res.Cmax)/float64(rec.CmaxLB), sched.RLSCmaxRatio(delta, in.M),
+			res.Mmax, float64(res.Mmax)/float64(rec.MmaxLB), delta,
+			meanCi, meanCi/optMean, sched.RLSSumCiRatio(delta))
+	}
+	fmt.Println("finding: measured ratios sit far below every bound and barely move —")
+	fmt.Println("on mixed batches, storage balance comes almost for free; delta is insurance.")
+
+	// Part 2 — hard per-node storage budgets (Section 7).
+	fmt.Println("\npart 2: hard per-node storage budget sweep (constrained solver)")
+	fmt.Printf("%10s | %10s %8s | %12s | %10s %8s\n",
+		"budget", "Cmax", "ratio", "store used", "meanCi", "ratio")
+	for _, mult := range []float64{1.02, 1.05, 1.1, 1.2, 1.5, 2.0} {
+		budget := sched.Mem(float64(rec.MmaxLB) * mult)
+		a, v, err := sched.ConstrainedIndependent(in, budget)
+		if errors.Is(err, sched.ErrNotCertified) {
+			fmt.Printf("%7.2fxLB | %10s\n", mult, "no placement found (hard band)")
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := sched.ScheduleFromAssignmentSPT(in, a)
+		meanCi := float64(sc.SumCi()) / float64(in.N())
+		optMean := float64(rec.SumCiLB) / float64(in.N())
+		fmt.Printf("%7.2fxLB | %10d %8.4f | %7d/%4d | %10.0f %8.4f\n",
+			mult, v.Cmax, float64(v.Cmax)/float64(rec.CmaxLB),
+			v.Mmax, budget, meanCi, meanCi/optMean)
+	}
+	fmt.Println("tight budgets force output concentration trade-offs; from ~1.2xLB the")
+	fmt.Println("constraint stops binding and both time objectives reach their optima.")
+
+	// Users watching for early results: completion profile of the
+	// first decile under the tightest feasible budget vs no budget.
+	tightBudget := sched.Mem(float64(rec.MmaxLB) * 1.05)
+	aTight, _, err := sched.ConstrainedIndependent(in, tightBudget)
+	if err != nil {
+		// Fall back to a looser budget if 1.05x is uncertifiable on
+		// this seed.
+		aTight, _, err = sched.ConstrainedIndependent(in, sched.Mem(float64(rec.MmaxLB)*1.2))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	free, err := sched.RLSIndependent(in, 10, sched.TieSPT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := in.N() / 10
+	fmt.Printf("\nfirst 10%% of jobs finished by: t=%d (tight budget) vs t=%d (no budget)\n",
+		decileCompletion(sched.ScheduleFromAssignmentSPT(in, aTight), k),
+		decileCompletion(free.Schedule, k))
+}
+
+// decileCompletion returns the time by which k jobs have completed.
+func decileCompletion(sc *sched.Schedule, k int) sched.Time {
+	comps := make([]sched.Time, sc.N())
+	for i := range comps {
+		comps[i] = sc.Completion(i)
+	}
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && comps[j] < comps[j-1]; j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return comps[k-1]
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a small instance, run both algorithm families and
+// print the schedules. This is the README example, runnable as
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	sched "storagesched"
+)
+
+func main() {
+	// Eight tasks on four processors. Task i runs for p[i] time units
+	// and keeps s[i] memory units resident on its processor for the
+	// whole run (code/results storage, as in the paper's model).
+	in := sched.NewInstance(4,
+		[]sched.Time{9, 4, 6, 2, 7, 3, 8, 5},
+		[]sched.Mem{3, 8, 1, 5, 2, 9, 4, 6})
+
+	rec := sched.BoundsForInstance(in)
+	fmt.Printf("lower bounds: Cmax >= %d, Mmax >= %d\n\n", rec.CmaxLB, rec.MmaxLB)
+
+	// --- SBO (Algorithm 1): pick the tradeoff with delta. ---------
+	// delta = 1 balances both objectives: guarantee (2rho, 2rho).
+	res, err := sched.SBOWithLPT(in, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc, rm := sched.SBORatio(1.0, sched.LPT{}.Ratio(in.M), sched.LPT{}.Ratio(in.M))
+	fmt.Printf("SBO(delta=1, LPT sub-algorithm): guarantee (%.2f, %.2f)\n", rc, rm)
+	fmt.Printf("achieved: Cmax=%d Mmax=%d\n", res.Cmax, res.Mmax)
+	if err := sched.RenderAssignment(os.Stdout, in, res.Assignment, sched.GanttOptions{Width: 40, ShowMemory: true}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- RLS (Algorithm 2) on the same tasks, tri-objective. ------
+	// delta = 3 caps every processor at 3x the memory lower bound
+	// and additionally guarantees the mean completion time (SPT
+	// order, Corollary 4).
+	rls, err := sched.RLSIndependent(in, 3.0, sched.TieSPT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRLS(delta=3, SPT): guarantees (Cmax %.2f, Mmax %.2f, SumCi %.2f)\n",
+		sched.RLSCmaxRatio(3, in.M), 3.0, sched.RLSSumCiRatio(3))
+	fmt.Printf("achieved: Cmax=%d Mmax=%d SumCi=%d (optimal SumCi=%d)\n",
+		rls.Cmax, rls.Mmax, rls.SumCi, rec.SumCiLB)
+	if err := sched.RenderGantt(os.Stdout, rls.Schedule, sched.GanttOptions{Width: 40, ShowMemory: true}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The original constrained problem (Section 7). ------------
+	budget := 2 * rec.MmaxLB
+	a, v, err := sched.ConstrainedIndependent(in, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = a
+	fmt.Printf("\nconstrained: min Cmax s.t. Mmax <= %d  ->  Cmax=%d, Mmax=%d\n", budget, v.Cmax, v.Mmax)
+}

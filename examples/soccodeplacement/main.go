@@ -1,0 +1,70 @@
+// Multi-SoC code placement: the embedded scenario from the paper's
+// introduction. Each SoC processor has a hard per-processor storage
+// capacity for instruction code; tasks carry their code size and must
+// be placed so that no SoC overflows while the schedule stays short.
+//
+// The run shows the Section 7 resolution of the constrained problem:
+//
+//   - budgets below the Graham bound are proven infeasible,
+//
+//   - budgets >= 2*LB are always solved,
+//
+//   - in between, the solver either finds a placement or reports that
+//     existence is unknown (the inapproximable band).
+//
+//     go run ./examples/soccodeplacement
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	sched "storagesched"
+)
+
+func main() {
+	const (
+		nRoutines = 60 // routines to place
+		nSoC      = 6  // SoC processors
+		seed      = 42
+	)
+	// The embedded mix: many small routines, a few big replicated
+	// kernels (bimodal code sizes), short execution bursts.
+	in := sched.GenEmbeddedCode(nRoutines, nSoC, seed)
+	lb := sched.MemLB(in.S(), in.M)
+	rec := sched.BoundsForInstance(in)
+	fmt.Printf("multi-SoC instance: %d routines on %d SoCs\n", in.N(), in.M)
+	fmt.Printf("code-store lower bound per SoC: %d units; makespan lower bound: %d\n\n", lb, rec.CmaxLB)
+
+	// Sweep hardware capacities from impossibly small to generous.
+	for _, mult := range []float64{0.8, 1.0, 1.1, 1.3, 1.6, 2.0, 3.0} {
+		capacity := sched.Mem(float64(lb) * mult)
+		a, v, err := sched.ConstrainedIndependent(in, capacity)
+		switch {
+		case errors.Is(err, sched.ErrInfeasible):
+			fmt.Printf("capacity %5d (%.1fxLB): provably infeasible (below the Graham bound)\n", capacity, mult)
+			continue
+		case errors.Is(err, sched.ErrNotCertified):
+			fmt.Printf("capacity %5d (%.1fxLB): no placement found; existence unknown (hard band)\n", capacity, mult)
+			continue
+		case err != nil:
+			log.Fatal(err)
+		}
+		_ = a
+		fmt.Printf("capacity %5d (%.1fxLB): placed; Cmax=%d (%.3fxLB), worst SoC store %d/%d\n",
+			capacity, mult, v.Cmax, float64(v.Cmax)/float64(rec.CmaxLB), v.Mmax, capacity)
+	}
+
+	// Show the placement for the 1.6x capacity in detail.
+	capacity := sched.Mem(float64(lb) * 1.6)
+	a, v, err := sched.ConstrainedIndependent(in, capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplacement at capacity %d (Cmax=%d, Mmax=%d):\n", capacity, v.Cmax, v.Mmax)
+	if err := sched.RenderAssignment(os.Stdout, in, a, sched.GanttOptions{Width: 64, ShowMemory: true}); err != nil {
+		log.Fatal(err)
+	}
+}

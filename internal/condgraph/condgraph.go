@@ -1,0 +1,351 @@
+// Package condgraph implements conditional task graphs — DAGs in which
+// a branch node selects exactly one of several successor alternatives
+// at run time — the first "more realistic model extension" named in
+// the paper's concluding remarks (and the setting of its reference [5],
+// Choudhury et al., on hybrid scheduling under memory and time
+// constraints).
+//
+// Semantics: every original source is always active; a non-source node
+// becomes active when at least one *selected* incoming edge leaves an
+// active node. A branch selection keeps the edges toward the chosen
+// alternative and drops the others. Tasks that never activate do not
+// execute and occupy no memory.
+//
+// Two scheduling policies are provided:
+//
+//   - Static-conservative: run RLS∆ once on the full graph (as if all
+//     branches executed) and, per scenario, execute only the active
+//     tasks keeping the processor assignment and per-processor order.
+//     Start times can only shrink when tasks drop out, so the full-
+//     graph Cmax and Mmax bound every scenario — the memory guarantee
+//     Mmax ≤ ∆·LB(full) holds unconditionally.
+//   - Clairvoyant-dynamic: re-run RLS∆ on each scenario's induced
+//     subgraph (knows the branch outcomes in advance); its own
+//     guarantees hold per scenario against the scenario's bounds.
+//
+// The gap between the two policies is the price of not knowing branch
+// outcomes; the MonteCarlo driver estimates it.
+package condgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"storagesched/internal/core"
+	"storagesched/internal/dag"
+	"storagesched/internal/model"
+)
+
+// Branch is one conditional choice point: when node Cond completes,
+// exactly one alternative (a set of successor nodes of Cond) is
+// activated, with the given probabilities.
+type Branch struct {
+	Cond         int
+	Alternatives [][]int
+	Probs        []float64
+}
+
+// CondGraph is a task DAG plus branch annotations.
+type CondGraph struct {
+	G        *dag.Graph
+	Branches []Branch
+}
+
+// New wraps a validated DAG.
+func New(g *dag.Graph) *CondGraph { return &CondGraph{G: g} }
+
+// AddBranch declares a choice point. Every alternative must be a
+// non-empty subset of Cond's successors, alternatives must be
+// disjoint, and probabilities must be positive and sum to 1.
+func (cg *CondGraph) AddBranch(cond int, alternatives [][]int, probs []float64) error {
+	if cond < 0 || cond >= cg.G.N() {
+		return fmt.Errorf("condgraph: branch node %d out of range", cond)
+	}
+	if len(alternatives) < 2 {
+		return fmt.Errorf("condgraph: branch at %d needs >= 2 alternatives", cond)
+	}
+	if len(alternatives) != len(probs) {
+		return fmt.Errorf("condgraph: %d alternatives but %d probabilities", len(alternatives), len(probs))
+	}
+	for _, b := range cg.Branches {
+		if b.Cond == cond {
+			return fmt.Errorf("condgraph: node %d already has a branch", cond)
+		}
+	}
+	succs := map[int]bool{}
+	for _, v := range cg.G.Succs(cond) {
+		succs[v] = true
+	}
+	seen := map[int]bool{}
+	total := 0.0
+	for k, alt := range alternatives {
+		if len(alt) == 0 {
+			return fmt.Errorf("condgraph: empty alternative %d at node %d", k, cond)
+		}
+		for _, v := range alt {
+			if !succs[v] {
+				return fmt.Errorf("condgraph: alternative member %d is not a successor of %d", v, cond)
+			}
+			if seen[v] {
+				return fmt.Errorf("condgraph: node %d appears in two alternatives of %d", v, cond)
+			}
+			seen[v] = true
+		}
+		if probs[k] <= 0 {
+			return fmt.Errorf("condgraph: probability %g of alternative %d must be > 0", probs[k], k)
+		}
+		total += probs[k]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("condgraph: probabilities sum to %g, want 1", total)
+	}
+	cg.Branches = append(cg.Branches, Branch{Cond: cond, Alternatives: alternatives, Probs: probs})
+	return nil
+}
+
+// Scenario fixes one outcome per branch.
+type Scenario struct {
+	// Choice[b] is the selected alternative index of Branches[b].
+	Choice []int
+	// Active[v] reports whether task v executes.
+	Active []bool
+}
+
+// Sample draws a scenario.
+func (cg *CondGraph) Sample(rng *rand.Rand) Scenario {
+	choice := make([]int, len(cg.Branches))
+	for b, br := range cg.Branches {
+		x := rng.Float64()
+		acc := 0.0
+		choice[b] = len(br.Probs) - 1
+		for k, p := range br.Probs {
+			acc += p
+			if x < acc {
+				choice[b] = k
+				break
+			}
+		}
+	}
+	return cg.Resolve(choice)
+}
+
+// Resolve computes the active set for explicit branch choices.
+func (cg *CondGraph) Resolve(choice []int) Scenario {
+	if len(choice) != len(cg.Branches) {
+		panic(fmt.Sprintf("condgraph: %d choices for %d branches", len(choice), len(cg.Branches)))
+	}
+	n := cg.G.N()
+	// dropped[u][v] marks de-selected edges.
+	dropped := make(map[[2]int]bool)
+	for b, br := range cg.Branches {
+		for k, alt := range br.Alternatives {
+			if k == choice[b] {
+				continue
+			}
+			for _, v := range alt {
+				dropped[[2]int{br.Cond, v}] = true
+			}
+		}
+	}
+	active := make([]bool, n)
+	order, err := cg.G.TopoOrder()
+	if err != nil {
+		panic(fmt.Sprintf("condgraph: %v", err))
+	}
+	for _, v := range order {
+		if len(cg.G.Preds(v)) == 0 {
+			active[v] = true
+			continue
+		}
+		for _, u := range cg.G.Preds(v) {
+			if active[u] && !dropped[[2]int{u, v}] {
+				active[v] = true
+				break
+			}
+		}
+	}
+	return Scenario{Choice: append([]int(nil), choice...), Active: active}
+}
+
+// Induced builds the subgraph of active tasks (edges restricted to
+// selected, active-to-active ones) plus the mapping from induced ids
+// back to original ids.
+func (cg *CondGraph) Induced(sc Scenario) (*dag.Graph, []int) {
+	var orig []int
+	newID := make([]int, cg.G.N())
+	for v := range newID {
+		newID[v] = -1
+	}
+	for v := 0; v < cg.G.N(); v++ {
+		if sc.Active[v] {
+			newID[v] = len(orig)
+			orig = append(orig, v)
+		}
+	}
+	p := make([]model.Time, len(orig))
+	s := make([]model.Mem, len(orig))
+	for k, v := range orig {
+		p[k] = cg.G.P[v]
+		s[k] = cg.G.S[v]
+	}
+	dropped := cg.droppedEdges(sc.Choice)
+	ind := dag.New(cg.G.M, p, s)
+	for _, u := range orig {
+		for _, v := range cg.G.Succs(u) {
+			if newID[v] >= 0 && !dropped[[2]int{u, v}] {
+				ind.AddEdge(newID[u], newID[v])
+			}
+		}
+	}
+	return ind, orig
+}
+
+func (cg *CondGraph) droppedEdges(choice []int) map[[2]int]bool {
+	dropped := make(map[[2]int]bool)
+	for b, br := range cg.Branches {
+		for k, alt := range br.Alternatives {
+			if k == choice[b] {
+				continue
+			}
+			for _, v := range alt {
+				dropped[[2]int{br.Cond, v}] = true
+			}
+		}
+	}
+	return dropped
+}
+
+// ExecuteStatic evaluates a full-graph schedule under a scenario:
+// inactive tasks are skipped, the processor assignment and the
+// per-processor start-time order are kept, and start times are
+// recomputed as max(previous task on the processor, active
+// predecessors). Because constraints only disappear, every start time
+// is at most its full-schedule value.
+func (cg *CondGraph) ExecuteStatic(sc *model.Schedule, scen Scenario) (model.Time, model.Mem) {
+	n := cg.G.N()
+	byProc := make([][]int, sc.M)
+	for i := 0; i < n; i++ {
+		if scen.Active[i] {
+			byProc[sc.Proc[i]] = append(byProc[sc.Proc[i]], i)
+		}
+	}
+	for q := range byProc {
+		sort.Slice(byProc[q], func(a, b int) bool {
+			ta, tb := byProc[q][a], byProc[q][b]
+			if sc.Start[ta] != sc.Start[tb] {
+				return sc.Start[ta] < sc.Start[tb]
+			}
+			return ta < tb
+		})
+	}
+	dropped := cg.droppedEdges(scen.Choice)
+	completion := make([]model.Time, n)
+	// Process tasks in full-schedule start order so predecessors are
+	// final before dependents (ties broken by id; a valid schedule
+	// has pred completion <= succ start, so this order is safe).
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if scen.Active[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sc.Start[order[a]] != sc.Start[order[b]] {
+			return sc.Start[order[a]] < sc.Start[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	procClock := make([]model.Time, sc.M)
+	var cmax model.Time
+	mem := make([]model.Mem, sc.M)
+	for _, i := range order {
+		start := procClock[sc.Proc[i]]
+		for _, u := range cg.G.Preds(i) {
+			if scen.Active[u] && !dropped[[2]int{u, i}] && completion[u] > start {
+				start = completion[u]
+			}
+		}
+		completion[i] = start + sc.P[i]
+		procClock[sc.Proc[i]] = completion[i]
+		mem[sc.Proc[i]] += sc.S[i]
+		if completion[i] > cmax {
+			cmax = completion[i]
+		}
+	}
+	var mmax model.Mem
+	for _, l := range mem {
+		if l > mmax {
+			mmax = l
+		}
+	}
+	return cmax, mmax
+}
+
+// MCResult aggregates a Monte Carlo comparison of the two policies.
+type MCResult struct {
+	Trials int
+
+	// Static-conservative policy (one RLS schedule on the full graph).
+	StaticFullCmax model.Time // the full-graph schedule's makespan
+	StaticFullMmax model.Mem
+	StaticMeanCmax float64
+	StaticMeanMmax float64
+
+	// Clairvoyant-dynamic policy (RLS per scenario).
+	DynamicMeanCmax float64
+	DynamicMeanMmax float64
+
+	// MeanActive is the average fraction of tasks that execute.
+	MeanActive float64
+}
+
+// MonteCarlo samples `trials` scenarios and evaluates both policies
+// with RLS∆ (bottom-level tie-break).
+func MonteCarlo(cg *CondGraph, delta float64, trials int, seed int64) (*MCResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("condgraph: trials = %d, need >= 1", trials)
+	}
+	full, err := core.RLS(cg.G, delta, core.TieBottomLevel)
+	if err != nil {
+		return nil, err
+	}
+	res := &MCResult{
+		Trials:         trials,
+		StaticFullCmax: full.Cmax,
+		StaticFullMmax: full.Mmax,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		scen := cg.Sample(rng)
+		nActive := 0
+		for _, a := range scen.Active {
+			if a {
+				nActive++
+			}
+		}
+		res.MeanActive += float64(nActive) / float64(cg.G.N())
+
+		c, m := cg.ExecuteStatic(full.Schedule, scen)
+		res.StaticMeanCmax += float64(c)
+		res.StaticMeanMmax += float64(m)
+
+		ind, _ := cg.Induced(scen)
+		if ind.N() > 0 {
+			dres, err := core.RLS(ind, delta, core.TieBottomLevel)
+			if err != nil {
+				return nil, err
+			}
+			res.DynamicMeanCmax += float64(dres.Cmax)
+			res.DynamicMeanMmax += float64(dres.Mmax)
+		}
+	}
+	f := float64(trials)
+	res.StaticMeanCmax /= f
+	res.StaticMeanMmax /= f
+	res.DynamicMeanCmax /= f
+	res.DynamicMeanMmax /= f
+	res.MeanActive /= f
+	return res, nil
+}

@@ -1,0 +1,268 @@
+package condgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"storagesched/internal/core"
+	"storagesched/internal/dag"
+	"storagesched/internal/model"
+)
+
+// branchy builds: 0 -> {1, 2} (branch: either 1 or 2), 1 -> 3, 2 -> 3.
+func branchy(t *testing.T) *CondGraph {
+	t.Helper()
+	g := dag.New(2, []model.Time{1, 4, 2, 1}, []model.Mem{1, 5, 3, 1})
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	cg := New(g)
+	if err := cg.AddBranch(0, [][]int{{1}, {2}}, []float64{0.7, 0.3}); err != nil {
+		t.Fatalf("AddBranch: %v", err)
+	}
+	return cg
+}
+
+func TestAddBranchValidation(t *testing.T) {
+	g := dag.New(1, []model.Time{1, 1, 1}, []model.Mem{0, 0, 0})
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	cg := New(g)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"out of range", func() error { return cg.AddBranch(9, [][]int{{1}, {2}}, []float64{0.5, 0.5}) }},
+		{"one alternative", func() error { return cg.AddBranch(0, [][]int{{1}}, []float64{1}) }},
+		{"prob mismatch", func() error { return cg.AddBranch(0, [][]int{{1}, {2}}, []float64{1}) }},
+		{"empty alt", func() error { return cg.AddBranch(0, [][]int{{}, {2}}, []float64{0.5, 0.5}) }},
+		{"non successor", func() error { return cg.AddBranch(0, [][]int{{1}, {0}}, []float64{0.5, 0.5}) }},
+		{"overlap", func() error { return cg.AddBranch(0, [][]int{{1}, {1}}, []float64{0.5, 0.5}) }},
+		{"bad probs", func() error { return cg.AddBranch(0, [][]int{{1}, {2}}, []float64{0.9, 0.3}) }},
+		{"zero prob", func() error { return cg.AddBranch(0, [][]int{{1}, {2}}, []float64{1, 0}) }},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := cg.AddBranch(0, [][]int{{1}, {2}}, []float64{0.5, 0.5}); err != nil {
+		t.Fatalf("valid branch rejected: %v", err)
+	}
+	if err := cg.AddBranch(0, [][]int{{1}, {2}}, []float64{0.5, 0.5}); err == nil {
+		t.Error("duplicate branch accepted")
+	}
+}
+
+func TestResolveActivity(t *testing.T) {
+	cg := branchy(t)
+	// Choice 0: select {1}. Node 2 inactive; 3 active via 1.
+	sc := cg.Resolve([]int{0})
+	want := []bool{true, true, false, true}
+	for v, w := range want {
+		if sc.Active[v] != w {
+			t.Errorf("choice 0: active[%d] = %v, want %v", v, sc.Active[v], w)
+		}
+	}
+	// Choice 1: select {2}.
+	sc = cg.Resolve([]int{1})
+	want = []bool{true, false, true, true}
+	for v, w := range want {
+		if sc.Active[v] != w {
+			t.Errorf("choice 1: active[%d] = %v, want %v", v, sc.Active[v], w)
+		}
+	}
+}
+
+func TestResolveCascadingDeactivation(t *testing.T) {
+	// 0 -> 1 -> 2: deselecting 1 must deactivate 2 as well.
+	g := dag.New(1, []model.Time{1, 1, 1, 1}, []model.Mem{0, 0, 0, 0})
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	cg := New(g)
+	if err := cg.AddBranch(0, [][]int{{1}, {3}}, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	sc := cg.Resolve([]int{1}) // select {3}
+	if sc.Active[1] || sc.Active[2] {
+		t.Errorf("deselected chain still active: %v", sc.Active)
+	}
+	if !sc.Active[3] {
+		t.Error("selected node inactive")
+	}
+}
+
+func TestSampleProbabilities(t *testing.T) {
+	cg := branchy(t)
+	rng := rand.New(rand.NewSource(1))
+	const trials = 20000
+	count := 0
+	for i := 0; i < trials; i++ {
+		sc := cg.Sample(rng)
+		if sc.Choice[0] == 0 {
+			count++
+		}
+	}
+	frac := float64(count) / trials
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Errorf("alternative 0 frequency %.3f, want ~0.7", frac)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	cg := branchy(t)
+	ind, orig := cg.Induced(cg.Resolve([]int{0}))
+	if ind.N() != 3 {
+		t.Fatalf("induced n = %d, want 3", ind.N())
+	}
+	// orig maps back: {0, 1, 3}.
+	want := []int{0, 1, 3}
+	for k, v := range want {
+		if orig[k] != v {
+			t.Errorf("orig[%d] = %d, want %d", k, orig[k], v)
+		}
+	}
+	if err := ind.Validate(); err != nil {
+		t.Fatalf("induced graph invalid: %v", err)
+	}
+	// Edge 0->1 and 1->3 survive as 0->1, 1->2.
+	if !ind.HasEdge(0, 1) || !ind.HasEdge(1, 2) {
+		t.Error("induced edges wrong")
+	}
+}
+
+func TestExecuteStaticNeverWorseThanFull(t *testing.T) {
+	cg := branchy(t)
+	full, err := core.RLS(cg.G, 3, core.TieBottomLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, choice := range [][]int{{0}, {1}} {
+		scen := cg.Resolve(choice)
+		c, m := cg.ExecuteStatic(full.Schedule, scen)
+		if c > full.Cmax {
+			t.Errorf("choice %v: scenario Cmax %d > full %d", choice, c, full.Cmax)
+		}
+		if m > full.Mmax {
+			t.Errorf("choice %v: scenario Mmax %d > full %d", choice, m, full.Mmax)
+		}
+	}
+}
+
+func TestMonteCarloBasics(t *testing.T) {
+	cg := branchy(t)
+	res, err := MonteCarlo(cg, 3, 200, 7)
+	if err != nil {
+		t.Fatalf("MonteCarlo: %v", err)
+	}
+	if res.Trials != 200 {
+		t.Errorf("trials = %d", res.Trials)
+	}
+	if res.MeanActive <= 0 || res.MeanActive > 1 {
+		t.Errorf("mean active fraction %g out of range", res.MeanActive)
+	}
+	// Static scenario means never exceed the full-schedule values.
+	if res.StaticMeanCmax > float64(res.StaticFullCmax)+1e-9 {
+		t.Errorf("static mean Cmax %g > full %d", res.StaticMeanCmax, res.StaticFullCmax)
+	}
+	if res.StaticMeanMmax > float64(res.StaticFullMmax)+1e-9 {
+		t.Errorf("static mean Mmax %g > full %d", res.StaticMeanMmax, res.StaticFullMmax)
+	}
+	if _, err := MonteCarlo(cg, 3, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// randomCondGraph builds a random layered DAG with branches at random
+// multi-successor nodes.
+func randomCondGraph(rng *rand.Rand) *CondGraph {
+	n := 8 + rng.Intn(20)
+	m := 2 + rng.Intn(4)
+	p := make([]model.Time, n)
+	s := make([]model.Mem, n)
+	for i := range p {
+		p[i] = rng.Int63n(20) + 1
+		s[i] = rng.Int63n(20)
+	}
+	g := dag.New(m, p, s)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.2 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	cg := New(g)
+	for u := 0; u < n; u++ {
+		succs := g.Succs(u)
+		if len(succs) >= 2 && rng.Float64() < 0.5 {
+			alts := [][]int{{succs[0]}, {succs[1]}}
+			if err := cg.AddBranch(u, alts, []float64{0.5, 0.5}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return cg
+}
+
+// Hard invariants across random conditional graphs: scenario execution
+// of the static schedule never exceeds full-schedule objectives, and
+// the dynamic policy's schedules honour the RLS memory bound on the
+// induced instance.
+func TestPropertyCondGraphInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cg := randomCondGraph(rng)
+		full, err := core.RLS(cg.G, 3, core.TieBottomLevel)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			scen := cg.Sample(rng)
+			c, m := cg.ExecuteStatic(full.Schedule, scen)
+			if c > full.Cmax || m > full.Mmax {
+				return false
+			}
+			ind, _ := cg.Induced(scen)
+			if ind.N() == 0 {
+				continue
+			}
+			dres, err := core.RLS(ind, 3, core.TieBottomLevel)
+			if err != nil {
+				return false
+			}
+			if dres.Schedule.Validate(ind.PredLists()) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With a single always-selected alternative... a degenerate two-way
+// branch with probabilities (1-eps, eps) at eps -> the sampled
+// behaviour approaches deterministic; Resolve with explicit choices is
+// what matters: full activation when every branch selects a superset
+// path that reaches all nodes. Here: no branches at all.
+func TestNoBranchesMeansAllActive(t *testing.T) {
+	g := dag.New(2, []model.Time{1, 2, 3}, []model.Mem{1, 1, 1})
+	g.AddEdge(0, 1)
+	cg := New(g)
+	sc := cg.Resolve(nil)
+	for v, a := range sc.Active {
+		if !a {
+			t.Errorf("node %d inactive without branches", v)
+		}
+	}
+	ind, _ := cg.Induced(sc)
+	if ind.N() != 3 || ind.NumEdges() != 1 {
+		t.Errorf("induced graph differs from original: n=%d e=%d", ind.N(), ind.NumEdges())
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"storagesched/internal/bounds"
+	"storagesched/internal/dag"
+	"storagesched/internal/makespan"
+	"storagesched/internal/model"
+)
+
+// Section 7 of the paper explains how the bi-objective machinery
+// recovers the original, inapproximable problem "minimize Cmax subject
+// to Mmax ≤ M":
+//
+//   - with precedence constraints, compute the Graham lower bound LB
+//     and run RLS with the budget M directly (∆ = M/LB); a solution is
+//     guaranteed whenever M ≥ 2·LB and the resulting makespan carries
+//     the matching Lemma 5 ratio;
+//   - with independent tasks, a parameter that always yields a
+//     feasible solution can be computed from Property 2, and the
+//     solution is then "tentatively improved by doing a binary search
+//     on the parameter".
+//
+// Both solvers report infeasibility exactly when M < LB (no schedule
+// at all fits), and "not certified" in the narrow band LB ≤ M < 2·LB
+// where the greedy may legitimately fail (the paper: "only few cases
+// can not be handled ... when it is difficult to fit the tasks").
+
+// ErrInfeasible reports that no schedule at all can respect the memory
+// budget (the budget is below the Graham lower bound).
+var ErrInfeasible = errors.New("core: memory budget below the Graham lower bound; no schedule exists")
+
+// ErrNotCertified reports that the solver failed to produce a schedule
+// within the budget although one may exist (budget between LB and
+// 2·LB).
+var ErrNotCertified = errors.New("core: no schedule found within the memory budget (budget < 2*LB, existence unknown)")
+
+// ConstrainedDAG schedules a task DAG under a hard memory budget capM.
+// On success the returned schedule satisfies Mmax ≤ capM.
+func ConstrainedDAG(g *dag.Graph, capM model.Mem, tie TieBreak) (*RLSResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	lb := bounds.MemLB(g.S, g.M)
+	if capM < lb {
+		return nil, fmt.Errorf("%w (LB=%d, budget=%d)", ErrInfeasible, lb, capM)
+	}
+	res, err := RLSWithCap(g, capM, tie)
+	if err != nil {
+		var tooSmall ErrCapTooSmall
+		if errors.As(err, &tooSmall) {
+			return nil, fmt.Errorf("%w (LB=%d, budget=%d)", ErrNotCertified, lb, capM)
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// ConstrainedSBOResult carries the best SBO schedule found under a
+// memory budget, together with the parameter search trace.
+type ConstrainedSBOResult struct {
+	*SBOResult
+
+	// GuaranteedDelta is the smallest ∆ for which Property 2 alone
+	// certifies feasibility: ∆ ≥ M/(capM − M) (infinite tasks-on-π2
+	// when capM == M). The search always evaluates it.
+	GuaranteedDelta float64
+
+	// Tried is the number of ∆ values evaluated.
+	Tried int
+}
+
+// ConstrainedSBO solves "min Cmax s.t. Mmax ≤ capM" on independent
+// tasks by searching the ∆ parameter of SBO, per Section 7. steps
+// controls the size of the log-spaced ∆ grid (≥ 1; 32 is plenty).
+//
+// Feasibility is decided by *measurement* (the achieved Mmax), so the
+// result is often better than what Property 2 alone certifies. The
+// search keeps the feasible schedule with the smallest measured Cmax.
+func ConstrainedSBO(in *model.Instance, capM model.Mem, algC, algM makespan.Algorithm, steps int) (*ConstrainedSBOResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if steps < 1 {
+		steps = 32
+	}
+	lb := bounds.MemLB(in.S(), in.M)
+	if capM < lb {
+		return nil, fmt.Errorf("%w (LB=%d, budget=%d)", ErrInfeasible, lb, capM)
+	}
+
+	// The memory sub-schedule π2 is the most memory-frugal anchor
+	// SBO can reach; if even it busts the budget the SBO family
+	// cannot certify this budget.
+	pi2 := algM.Assign(in.S(), in.M)
+	mVal := in.Mmax(pi2)
+	if mVal > capM {
+		return nil, fmt.Errorf("%w (memory sub-schedule reaches Mmax=%d > budget=%d)", ErrNotCertified, mVal, capM)
+	}
+
+	guaranteed := math.Inf(1)
+	if capM > mVal {
+		guaranteed = float64(mVal) / float64(capM-mVal)
+	}
+
+	// Candidate ∆ grid: log-spaced over [1/64, 64] plus the
+	// guaranteed parameter. Small ∆ keeps tasks on the time schedule
+	// (good Cmax), large ∆ pushes them to the memory schedule (good
+	// Mmax); the measured-feasible minimum over the grid is the
+	// Section 7 "binary search" made robust to non-monotonicity.
+	var deltas []float64
+	lo, hi := 1.0/64, 64.0
+	if !math.IsInf(guaranteed, 1) && guaranteed > hi {
+		hi = guaranteed
+	}
+	ratio := math.Pow(hi/lo, 1/float64(steps))
+	for d := lo; d <= hi*(1+1e-12); d *= ratio {
+		deltas = append(deltas, d)
+	}
+	if !math.IsInf(guaranteed, 1) {
+		deltas = append(deltas, guaranteed)
+	}
+
+	res := &ConstrainedSBOResult{GuaranteedDelta: guaranteed}
+	for _, d := range deltas {
+		r, err := SBO(in, d, algC, algM)
+		if err != nil {
+			return nil, err
+		}
+		res.Tried++
+		if r.Mmax > capM {
+			continue
+		}
+		if res.SBOResult == nil || r.Cmax < res.SBOResult.Cmax {
+			res.SBOResult = r
+		}
+	}
+	if res.SBOResult == nil {
+		// π2 itself is feasible (checked above), so the all-π2
+		// fallback always lands here at worst: force it.
+		r := &SBOResult{
+			Delta:           math.Inf(1),
+			Assignment:      pi2,
+			FromMemSchedule: make([]bool, in.N()),
+			C:               in.Cmax(algC.Assign(in.P(), in.M)),
+			M:               mVal,
+			Cmax:            in.Cmax(pi2),
+			Mmax:            mVal,
+		}
+		for i := range r.FromMemSchedule {
+			r.FromMemSchedule[i] = true
+		}
+		res.SBOResult = r
+	}
+	return res, nil
+}
+
+// ConstrainedIndependent tries both Section 7 routes on an
+// independent-task instance — the SBO parameter search and RLS with an
+// explicit cap (SPT order) — and returns the assignment with the
+// smaller makespan among the feasible ones.
+func ConstrainedIndependent(in *model.Instance, capM model.Mem) (model.Assignment, model.Value, error) {
+	if err := in.Validate(); err != nil {
+		return nil, model.Value{}, err
+	}
+	lb := bounds.MemLB(in.S(), in.M)
+	if capM < lb {
+		return nil, model.Value{}, fmt.Errorf("%w (LB=%d, budget=%d)", ErrInfeasible, lb, capM)
+	}
+
+	var bestA model.Assignment
+	var bestV model.Value
+
+	if sbo, err := ConstrainedSBO(in, capM, makespan.LPT{}, makespan.LPT{}, 32); err == nil {
+		bestA = sbo.Assignment
+		bestV = model.Value{Cmax: sbo.Cmax, Mmax: sbo.Mmax}
+	}
+	if rls, err := RLSIndependentWithCap(in, capM, TieSPT); err == nil && rls.Mmax <= capM {
+		if bestA == nil || rls.Cmax < bestV.Cmax {
+			bestA = rls.Schedule.Assignment()
+			bestV = model.Value{Cmax: rls.Cmax, Mmax: rls.Mmax}
+		}
+	}
+	if bestA == nil {
+		return nil, model.Value{}, fmt.Errorf("%w (LB=%d, budget=%d)", ErrNotCertified, lb, capM)
+	}
+	return bestA, bestV, nil
+}

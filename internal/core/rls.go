@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"storagesched/internal/bounds"
+	"storagesched/internal/dag"
+	"storagesched/internal/model"
+)
+
+// TieBreak selects the arbitrary total order Algorithm 2 uses to break
+// ties between tasks that can start equally soon. Corollary 4 uses SPT
+// on independent tasks; the others are natural ablation choices.
+type TieBreak int
+
+const (
+	// TieByID orders tasks by index — the paper's "arbitrary total
+	// ordering".
+	TieByID TieBreak = iota
+	// TieSPT prefers shorter processing times (Section 5.2).
+	TieSPT
+	// TieLPT prefers longer processing times.
+	TieLPT
+	// TieBottomLevel prefers tasks with the longest remaining chain
+	// (critical-path-first), the classic DAG list-scheduling priority.
+	TieBottomLevel
+)
+
+// String implements fmt.Stringer for experiment tables.
+func (t TieBreak) String() string {
+	switch t {
+	case TieByID:
+		return "ID"
+	case TieSPT:
+		return "SPT"
+	case TieLPT:
+		return "LPT"
+	case TieBottomLevel:
+		return "BLevel"
+	}
+	return fmt.Sprintf("TieBreak(%d)", int(t))
+}
+
+// RLSResult is the outcome of one RLS∆ run together with the
+// quantities the analysis of Lemmas 4–5 tracks.
+type RLSResult struct {
+	Delta float64
+
+	// Schedule is the (π, σ) pair returned by Algorithm 2.
+	Schedule *model.Schedule
+
+	// LB is the Graham memory lower bound max(max s_i, ⌈Σs_i/m⌉)
+	// computed at the top of the algorithm.
+	LB model.Mem
+
+	// Cap is the per-processor memory budget actually enforced,
+	// ⌊∆·LB⌋ (or the explicit cap for the constrained variant).
+	Cap model.Mem
+
+	// Marked[j] is true if processor j was ever skipped because its
+	// memory load made it infeasible for some ready task while a
+	// higher-loaded processor was chosen (the "marked" processors of
+	// Lemma 4).
+	Marked []bool
+
+	// Cmax and Mmax are the achieved objectives.
+	Cmax model.Time
+	Mmax model.Mem
+	// SumCi is Σ_i (σ(i)+p_i), used by the tri-objective analysis.
+	SumCi model.Time
+}
+
+// MarkedCount returns the number of marked processors; Lemma 4 proves
+// it never exceeds ⌊m/(∆−1)⌋.
+func (r *RLSResult) MarkedCount() int {
+	c := 0
+	for _, b := range r.Marked {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// RLSCmaxRatio returns the Lemma 5 guarantee on the makespan,
+// 2 + 1/(∆−2) − (∆−1)/(m(∆−2)), for ∆ > 2. For 2 < ∆ where the |CP|
+// coefficient 1 − (∆−1)/(m(∆−2)) would be negative (very small ∆ or
+// m), the bound degenerates to 1 + 1/(∆−2) because the |CP| term only
+// helps; the returned value accounts for that. It returns +Inf for
+// ∆ ≤ 2 (no guarantee exists there, cf. Lemma 4's discussion).
+func RLSCmaxRatio(delta float64, m int) float64 {
+	if delta <= 2 {
+		return math.Inf(1)
+	}
+	work := 1 + 1/(delta-2)
+	cp := 1 - (delta-1)/(float64(m)*(delta-2))
+	if cp < 0 {
+		cp = 0
+	}
+	return work + cp
+}
+
+// RLSSumCiRatio returns the Corollary 4 guarantee on ΣCi for the SPT
+// variant: 2 + 1/(∆−2) (equivalently 1/ρ + 1 with ρ = (∆−2)/(∆−1),
+// Lemma 6). +Inf for ∆ ≤ 2.
+func RLSSumCiRatio(delta float64) float64 {
+	if delta <= 2 {
+		return math.Inf(1)
+	}
+	return 2 + 1/(delta-2)
+}
+
+// memCapFloor computes ⌊∆·LB⌋ exactly (∆ is a float64, hence an exact
+// rational; LB can be as large as 2^40 in ε-scaled instances, so the
+// product is evaluated in big rationals rather than floats).
+func memCapFloor(delta float64, lb model.Mem) model.Mem {
+	r := new(big.Rat).SetFloat64(delta)
+	r.Mul(r, new(big.Rat).SetInt64(int64(lb)))
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	return q.Int64()
+}
+
+// RLS runs Algorithm 2 (Restricted List Scheduling) on a task DAG with
+// parameter ∆ ≥ 2. It schedules, at each step, the ready task that can
+// start the soonest on its least-loaded memory-feasible processor,
+// breaking start-time ties with the given order. For ∆ ≥ 2 a feasible
+// processor always exists (the counting argument behind Lemma 4), so
+// the only error conditions are malformed inputs.
+func RLS(g *dag.Graph, delta float64, tie TieBreak) (*RLSResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if delta < 2 {
+		return nil, fmt.Errorf("core: RLS delta = %g, need delta >= 2 (Lemma 4)", delta)
+	}
+	lb := bounds.MemLB(g.S, g.M)
+	cap := memCapFloor(delta, lb)
+	res, err := rlsWithCap(g, cap, tie)
+	if err != nil {
+		return nil, err
+	}
+	res.Delta = delta
+	res.LB = lb
+	return res, nil
+}
+
+// RLSWithCap runs the same loop with an explicit per-processor memory
+// budget instead of ∆·LB — the form the Section 7 constrained solver
+// needs. It fails with ErrCapTooSmall when some ready task fits on no
+// processor, which can only happen for caps below 2·LB.
+func RLSWithCap(g *dag.Graph, cap model.Mem, tie TieBreak) (*RLSResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := rlsWithCap(g, cap, tie)
+	if err != nil {
+		return nil, err
+	}
+	res.LB = bounds.MemLB(g.S, g.M)
+	if res.LB > 0 {
+		res.Delta = float64(cap) / float64(res.LB)
+	}
+	return res, nil
+}
+
+// ErrCapTooSmall reports that the explicit memory cap made some task
+// unplaceable.
+type ErrCapTooSmall struct {
+	Task int
+	Cap  model.Mem
+}
+
+func (e ErrCapTooSmall) Error() string {
+	return fmt.Sprintf("core: task %d fits on no processor under memory cap %d", e.Task, e.Cap)
+}
+
+// tieRank precomputes the priority rank of every task for a tie-break
+// rule (lower rank = scheduled first on ties).
+func tieRank(g *dag.Graph, tie TieBreak) ([]int, error) {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	switch tie {
+	case TieByID:
+		// identity
+	case TieSPT:
+		sort.SliceStable(order, func(a, b int) bool { return g.P[order[a]] < g.P[order[b]] })
+	case TieLPT:
+		sort.SliceStable(order, func(a, b int) bool { return g.P[order[a]] > g.P[order[b]] })
+	case TieBottomLevel:
+		bl, err := g.BottomLevels()
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(order, func(a, b int) bool { return bl[order[a]] > bl[order[b]] })
+	default:
+		return nil, fmt.Errorf("core: unknown tie break %d", int(tie))
+	}
+	rank := make([]int, n)
+	for r, i := range order {
+		rank[i] = r
+	}
+	return rank, nil
+}
+
+// rlsWithCap is the shared Algorithm 2 loop.
+func rlsWithCap(g *dag.Graph, cap model.Mem, tie TieBreak) (*RLSResult, error) {
+	n := g.N()
+	m := g.M
+	rank, err := tieRank(g, tie)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := model.NewSchedule(m, n)
+	copy(sc.P, g.P)
+	copy(sc.S, g.S)
+
+	load := make([]model.Time, m)
+	memsize := make([]model.Mem, m)
+	marked := make([]bool, m)
+	done := make([]bool, n)
+	pendingPreds := make([]int, n)
+	readyTime := make([]model.Time, n) // max over preds of completion
+	for v := 0; v < n; v++ {
+		pendingPreds[v] = len(g.Preds(v))
+	}
+
+	const inf = model.Time(math.MaxInt64)
+	for scheduled := 0; scheduled < n; scheduled++ {
+		bestTask, bestProc := -1, -1
+		bestStart := inf
+		for i := 0; i < n; i++ {
+			if done[i] || pendingPreds[i] != 0 {
+				continue
+			}
+			// Least-loaded processor that respects the memory cap.
+			proc := -1
+			for j := 0; j < m; j++ {
+				if memsize[j]+g.S[i] > cap {
+					continue
+				}
+				if proc == -1 || load[j] < load[proc] {
+					proc = j
+				}
+			}
+			if proc == -1 {
+				// No processor can take this task. Another ready
+				// task might still fit; defer i.
+				continue
+			}
+			// Analysis bookkeeping (Lemma 4): every processor with a
+			// smaller load than the chosen one was skipped because
+			// of memory.
+			for j := 0; j < m; j++ {
+				if load[j] < load[proc] {
+					marked[j] = true
+				}
+			}
+			start := readyTime[i]
+			if load[proc] > start {
+				start = load[proc]
+			}
+			if start < bestStart || (start == bestStart && (bestTask == -1 || rank[i] < rank[bestTask])) {
+				bestTask, bestProc, bestStart = i, proc, start
+			}
+		}
+		if bestTask == -1 {
+			return nil, ErrCapTooSmall{Task: firstUnscheduled(done), Cap: cap}
+		}
+		i := bestTask
+		sc.Proc[i] = bestProc
+		sc.Start[i] = bestStart
+		load[bestProc] = bestStart + g.P[i]
+		memsize[bestProc] += g.S[i]
+		done[i] = true
+		for _, w := range g.Succs(i) {
+			pendingPreds[w]--
+			if c := bestStart + g.P[i]; c > readyTime[w] {
+				readyTime[w] = c
+			}
+		}
+	}
+
+	res := &RLSResult{
+		Schedule: sc,
+		Cap:      cap,
+		Marked:   marked,
+		Cmax:     sc.Cmax(),
+		Mmax:     sc.Mmax(),
+		SumCi:    sc.SumCi(),
+	}
+	return res, nil
+}
+
+func firstUnscheduled(done []bool) int {
+	for i, d := range done {
+		if !d {
+			return i
+		}
+	}
+	return -1
+}
+
+// RLSIndependent runs the Section 5.2 independent-task variant: tasks
+// are taken strictly in the tie-break order (SPT for Corollary 4) and
+// each goes to its least-loaded memory-feasible processor. On
+// independent tasks this coincides with Algorithm 2 whenever all ready
+// times are equal, and it is the form whose ΣCi analysis (Lemma 6)
+// requires tasks to be delayed only by order-earlier tasks.
+func RLSIndependent(in *model.Instance, delta float64, tie TieBreak) (*RLSResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if delta < 2 {
+		return nil, fmt.Errorf("core: RLS delta = %g, need delta >= 2 (Lemma 4)", delta)
+	}
+	lb := bounds.MemLB(in.S(), in.M)
+	cap := memCapFloor(delta, lb)
+	res, err := rlsIndependentWithCap(in, cap, tie)
+	if err != nil {
+		return nil, err
+	}
+	res.Delta = delta
+	res.LB = lb
+	return res, nil
+}
+
+// RLSIndependentWithCap is the explicit-cap form of RLSIndependent.
+func RLSIndependentWithCap(in *model.Instance, cap model.Mem, tie TieBreak) (*RLSResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := rlsIndependentWithCap(in, cap, tie)
+	if err != nil {
+		return nil, err
+	}
+	res.LB = bounds.MemLB(in.S(), in.M)
+	if res.LB > 0 {
+		res.Delta = float64(cap) / float64(res.LB)
+	}
+	return res, nil
+}
+
+func rlsIndependentWithCap(in *model.Instance, cap model.Mem, tie TieBreak) (*RLSResult, error) {
+	g := dag.FromInstance(in)
+	rank, err := tieRank(g, tie)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rank[order[a]] < rank[order[b]] })
+
+	n, m := in.N(), in.M
+	sc := model.NewSchedule(m, n)
+	copy(sc.P, g.P)
+	copy(sc.S, g.S)
+	load := make([]model.Time, m)
+	memsize := make([]model.Mem, m)
+	marked := make([]bool, m)
+	for _, i := range order {
+		proc := -1
+		for j := 0; j < m; j++ {
+			if memsize[j]+g.S[i] > cap {
+				continue
+			}
+			if proc == -1 || load[j] < load[proc] {
+				proc = j
+			}
+		}
+		if proc == -1 {
+			return nil, ErrCapTooSmall{Task: i, Cap: cap}
+		}
+		for j := 0; j < m; j++ {
+			if load[j] < load[proc] {
+				marked[j] = true
+			}
+		}
+		sc.Proc[i] = proc
+		sc.Start[i] = load[proc]
+		load[proc] += g.P[i]
+		memsize[proc] += g.S[i]
+	}
+	return &RLSResult{
+		Schedule: sc,
+		Cap:      cap,
+		Marked:   marked,
+		Cmax:     sc.Cmax(),
+		Mmax:     sc.Mmax(),
+		SumCi:    sc.SumCi(),
+	}, nil
+}

@@ -1,0 +1,151 @@
+// Package core implements the two algorithm families of Saule, Dutot
+// and Mounié, "Scheduling with Storage Constraints" (IPDPS 2008):
+//
+//   - SBO∆ — the Symmetric Bi-Objective algorithm for independent tasks
+//     (Algorithm 1, Section 3), a ((1+∆)ρ1, (1+1/∆)ρ2)-approximation of
+//     (Cmax, Mmax) built from any two single-objective sub-algorithms;
+//   - RLS∆ — Restricted List Scheduling for precedence-constrained
+//     tasks (Algorithm 2, Section 5), a
+//     (2 + 1/(∆−2) − (∆−1)/(m(∆−2)), ∆)-approximation for ∆ > 2, and
+//     its tri-objective SPT variant (Corollary 4);
+//   - the Section 7 constrained solvers that recover the original
+//     "minimize Cmax subject to Mmax ≤ M" problem from the bi-objective
+//     machinery.
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"storagesched/internal/makespan"
+	"storagesched/internal/model"
+)
+
+// SBOResult is the outcome of one SBO∆ run, retaining everything the
+// analysis of Properties 1 and 2 refers to.
+type SBOResult struct {
+	Delta float64
+
+	// Assignment is the combined schedule π∆.
+	Assignment model.Assignment
+
+	// FromMemSchedule[i] is true when task i was taken from π2, the
+	// memory-optimized schedule (the set S2 in the proof of
+	// Property 1), false when taken from π1 (the set S1).
+	FromMemSchedule []bool
+
+	// C is Cmax(π1), the guaranteed makespan of the time
+	// sub-schedule; M is Mmax(π2), the guaranteed memory of the
+	// memory sub-schedule. The proven bounds are relative to these:
+	// Cmax(π∆) ≤ (1+∆)·C and Mmax(π∆) ≤ (1+1/∆)·M.
+	C model.Time
+	M model.Mem
+
+	// Cmax and Mmax are the achieved objective values of π∆.
+	Cmax model.Time
+	Mmax model.Mem
+}
+
+// CmaxBound returns the Property 1 guarantee (1+∆)·C as a float.
+func (r *SBOResult) CmaxBound() float64 { return (1 + r.Delta) * float64(r.C) }
+
+// MmaxBound returns the Property 2 guarantee (1+1/∆)·M as a float.
+func (r *SBOResult) MmaxBound() float64 { return (1 + 1/r.Delta) * float64(r.M) }
+
+// SBO runs Algorithm 1 on an independent-task instance. algC is the
+// ρ1-approximation used for the makespan schedule π1, algM the
+// ρ2-approximation used (on the s vector) for the memory schedule π2.
+// Delta must be > 0.
+//
+// The threshold test "p_i/C < ∆·s_i/M" is evaluated exactly with
+// rational arithmetic so that huge integer instances (the ε-scaled
+// hardness instances use values up to 2^40) never suffer float
+// rounding.
+func SBO(in *model.Instance, delta float64, algC, algM makespan.Algorithm) (*SBOResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("core: SBO delta = %g, need delta > 0", delta)
+	}
+	p := in.P()
+	s := in.S()
+	pi1 := algC.Assign(p, in.M)
+	pi2 := algM.Assign(s, in.M)
+	c := in.Cmax(pi1)
+	m := in.Mmax(pi2)
+
+	res := &SBOResult{
+		Delta:           delta,
+		Assignment:      make(model.Assignment, in.N()),
+		FromMemSchedule: make([]bool, in.N()),
+		C:               c,
+		M:               m,
+	}
+
+	// deltaRat is exact: every float64 is a rational.
+	deltaRat := new(big.Rat).SetFloat64(delta)
+	if deltaRat == nil {
+		return nil, fmt.Errorf("core: SBO delta = %g is not finite", delta)
+	}
+	lhs := new(big.Rat)
+	rhs := new(big.Rat)
+	tmp := new(big.Rat)
+	for i := range in.Tasks {
+		useMem := false
+		if m == 0 {
+			// Perfect memory schedule exists (all s_i = 0); memory
+			// needs no help, keep every task on the time schedule.
+			useMem = false
+		} else {
+			// p_i/C < ∆·s_i/M  ⇔  p_i·M < ∆·s_i·C (C, M > 0).
+			lhs.SetInt64(p[i])
+			tmp.SetInt64(int64(m))
+			lhs.Mul(lhs, tmp)
+			rhs.SetInt64(int64(s[i]))
+			tmp.SetInt64(c)
+			rhs.Mul(rhs, tmp)
+			rhs.Mul(rhs, deltaRat)
+			useMem = lhs.Cmp(rhs) < 0
+		}
+		if useMem {
+			res.Assignment[i] = pi2[i]
+		} else {
+			res.Assignment[i] = pi1[i]
+		}
+		res.FromMemSchedule[i] = useMem
+	}
+	res.Cmax = in.Cmax(res.Assignment)
+	res.Mmax = in.Mmax(res.Assignment)
+	return res, nil
+}
+
+// SBOWithLS runs SBO∆ with Graham list scheduling on both objectives —
+// the cheapest configuration, ratio ((1+∆)(2−1/m), (1+1/∆)(2−1/m)).
+func SBOWithLS(in *model.Instance, delta float64) (*SBOResult, error) {
+	return SBO(in, delta, makespan.ListScheduling{}, makespan.ListScheduling{})
+}
+
+// SBOWithLPT runs SBO∆ with LPT on both objectives, ratio
+// ((1+∆)(4/3−1/3m), (1+1/∆)(4/3−1/3m)).
+func SBOWithLPT(in *model.Instance, delta float64) (*SBOResult, error) {
+	return SBO(in, delta, makespan.LPT{}, makespan.LPT{})
+}
+
+// SBOWithPTAS runs SBO∆ with the Hochbaum–Shmoys PTAS on both
+// objectives — the Corollary 1 configuration with ratio
+// ((1+∆)(1+ε), (1+1/∆)(1+ε)) ≤ (1+∆+ε', 1+1/∆+ε'). The PTAS dynamic
+// program is exponential in 1/ε; see makespan.PTAS.
+func SBOWithPTAS(in *model.Instance, delta, eps float64) (*SBOResult, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: SBO PTAS eps = %g, need 0 < eps < 1", eps)
+	}
+	alg := makespan.PTAS{Epsilon: eps}
+	return SBO(in, delta, alg, alg)
+}
+
+// SBORatio returns the proven approximation pair of SBO∆ given the
+// sub-algorithm ratios: ((1+∆)·ρ1, (1+1/∆)·ρ2).
+func SBORatio(delta, rho1, rho2 float64) (cmaxRatio, mmaxRatio float64) {
+	return (1 + delta) * rho1, (1 + 1/delta) * rho2
+}

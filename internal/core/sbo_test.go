@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"storagesched/internal/makespan"
+	"storagesched/internal/model"
+)
+
+func randInstance(rng *rand.Rand, maxN, maxM int, maxV int64) *model.Instance {
+	n := 1 + rng.Intn(maxN)
+	m := 1 + rng.Intn(maxM)
+	p := make([]model.Time, n)
+	s := make([]model.Mem, n)
+	for i := 0; i < n; i++ {
+		p[i] = rng.Int63n(maxV) + 1
+		s[i] = rng.Int63n(maxV + 1)
+	}
+	return model.NewInstance(m, p, s)
+}
+
+func TestSBORejectsBadInput(t *testing.T) {
+	in := model.NewInstance(2, []model.Time{1}, []model.Mem{1})
+	if _, err := SBO(in, 0, makespan.LPT{}, makespan.LPT{}); err == nil {
+		t.Error("delta = 0 accepted")
+	}
+	if _, err := SBO(in, -1, makespan.LPT{}, makespan.LPT{}); err == nil {
+		t.Error("delta < 0 accepted")
+	}
+	bad := &model.Instance{M: 0}
+	if _, err := SBO(bad, 1, makespan.LPT{}, makespan.LPT{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestSBOThresholdSplitsAsInPaper(t *testing.T) {
+	// Intuition check from Section 3.1: a long task with little
+	// memory should follow the makespan schedule; a short task with
+	// huge memory should follow the memory schedule.
+	in := model.NewInstance(2,
+		[]model.Time{100, 1, 50, 50},
+		[]model.Mem{1, 100, 50, 50})
+	res, err := SBO(in, 1, makespan.LPT{}, makespan.LPT{})
+	if err != nil {
+		t.Fatalf("SBO: %v", err)
+	}
+	if res.FromMemSchedule[0] {
+		t.Error("task 0 (p=100, s=1) should come from the makespan schedule")
+	}
+	if !res.FromMemSchedule[1] {
+		t.Error("task 1 (p=1, s=100) should come from the memory schedule")
+	}
+}
+
+func TestSBOAllZeroMemory(t *testing.T) {
+	in := model.NewInstance(2, []model.Time{5, 7, 3}, []model.Mem{0, 0, 0})
+	res, err := SBO(in, 1, makespan.LPT{}, makespan.LPT{})
+	if err != nil {
+		t.Fatalf("SBO: %v", err)
+	}
+	if res.Mmax != 0 {
+		t.Errorf("Mmax = %d, want 0", res.Mmax)
+	}
+	// With M = 0 every task must follow the time schedule.
+	for i, b := range res.FromMemSchedule {
+		if b {
+			t.Errorf("task %d routed to memory schedule with all-zero memory", i)
+		}
+	}
+	if res.Cmax != res.C {
+		t.Errorf("Cmax = %d, want C = %d (pure makespan schedule)", res.Cmax, res.C)
+	}
+}
+
+func TestSBORatioFormula(t *testing.T) {
+	c, m := SBORatio(1, 1, 1)
+	if c != 2 || m != 2 {
+		t.Errorf("SBORatio(1,1,1) = (%g,%g), want (2,2)", c, m)
+	}
+	c, m = SBORatio(2, 1.5, 1.25)
+	if c != 3*1.5 || m != 1.5*1.25 {
+		t.Errorf("SBORatio(2,1.5,1.25) = (%g,%g)", c, m)
+	}
+}
+
+// Property 1 and Property 2, tested exactly as stated: relative to the
+// sub-schedule values C and M, independent of the unknown optimum.
+func TestPropertySBOGuarantees(t *testing.T) {
+	deltas := []float64{0.25, 0.5, 1, 2, 4}
+	algos := []makespan.Algorithm{makespan.ListScheduling{}, makespan.LPT{}, makespan.Multifit{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randInstance(rng, 50, 8, 1000)
+		delta := deltas[rng.Intn(len(deltas))]
+		algC := algos[rng.Intn(len(algos))]
+		algM := algos[rng.Intn(len(algos))]
+		res, err := SBO(in, delta, algC, algM)
+		if err != nil {
+			return false
+		}
+		if in.ValidateAssignment(res.Assignment) != nil {
+			return false
+		}
+		if float64(res.Cmax) > (1+delta)*float64(res.C)+1e-9 {
+			return false // Property 1 violated
+		}
+		if res.M > 0 && float64(res.Mmax) > (1+1/delta)*float64(res.M)+1e-9 {
+			return false // Property 2 violated
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Corollary 1 with the PTAS sub-algorithm on instances small enough
+// for exact optima: the schedule is within ((1+∆)(1+ε), (1+1/∆)(1+ε))
+// of (C*max, M*max).
+func TestSBOPTASAgainstExactOptima(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	eps := 0.25
+	for trial := 0; trial < 25; trial++ {
+		in := randInstance(rng, 9, 3, 50)
+		optC, _ := makespan.ExactDP{}.Solve(in.P(), in.M)
+		optM, _ := makespan.ExactDP{}.Solve(in.S(), in.M)
+		for _, delta := range []float64{0.5, 1, 2} {
+			res, err := SBOWithPTAS(in, delta, eps)
+			if err != nil {
+				t.Fatalf("SBOWithPTAS: %v", err)
+			}
+			cBound := (1 + delta) * (1 + eps) * float64(optC)
+			if float64(res.Cmax) > cBound+1e-9 {
+				t.Errorf("trial %d delta=%g: Cmax %d > bound %.2f (C*=%d)",
+					trial, delta, res.Cmax, cBound, optC)
+			}
+			mBound := (1 + 1/delta) * (1 + eps) * float64(optM)
+			if optM > 0 && float64(res.Mmax) > mBound+1e-9 {
+				t.Errorf("trial %d delta=%g: Mmax %d > bound %.2f (M*=%d)",
+					trial, delta, res.Mmax, mBound, optM)
+			}
+		}
+	}
+}
+
+// The Corollary 1 remark: a (2·C*max, 2·M*max) solution always exists;
+// SBO at ∆ = 1 with the PTAS finds one up to ε.
+func TestSBODelta1TwoTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	eps := 0.25
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(rng, 8, 3, 30)
+		optC, _ := makespan.ExactDP{}.Solve(in.P(), in.M)
+		optM, _ := makespan.ExactDP{}.Solve(in.S(), in.M)
+		res, err := SBOWithPTAS(in, 1, eps)
+		if err != nil {
+			t.Fatalf("SBOWithPTAS: %v", err)
+		}
+		if float64(res.Cmax) > 2*(1+eps)*float64(optC)+1e-9 {
+			t.Errorf("trial %d: Cmax %d > 2(1+eps)C* (C*=%d)", trial, res.Cmax, optC)
+		}
+		if optM > 0 && float64(res.Mmax) > 2*(1+eps)*float64(optM)+1e-9 {
+			t.Errorf("trial %d: Mmax %d > 2(1+eps)M* (M*=%d)", trial, res.Mmax, optM)
+		}
+	}
+}
+
+// The symmetry observation of Section 2.1: running SBO on the swapped
+// instance with parameter 1/∆ mirrors the guarantees.
+func TestPropertySBOSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randInstance(rng, 30, 6, 500)
+		// Avoid all-zero memory (swap would make p zero -> invalid).
+		for i := range in.Tasks {
+			if in.Tasks[i].S == 0 {
+				in.Tasks[i].S = 1
+			}
+		}
+		delta := 0.5 + rng.Float64()*3
+		alg := makespan.LPT{}
+		res, err := SBO(in, delta, alg, alg)
+		if err != nil {
+			return false
+		}
+		sw, err := SBO(in.Swapped(), 1/delta, alg, alg)
+		if err != nil {
+			return false
+		}
+		// Guarantees mirror exactly.
+		okA := float64(res.Cmax) <= (1+delta)*float64(res.C)+1e-9
+		okB := float64(sw.Mmax) <= (1+delta)*float64(sw.M)+1e-9
+		return okA && okB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSBOConvenienceWrappers(t *testing.T) {
+	in := model.NewInstance(3, []model.Time{9, 4, 6, 2}, []model.Mem{3, 8, 1, 5})
+	for name, run := range map[string]func() (*SBOResult, error){
+		"LS":   func() (*SBOResult, error) { return SBOWithLS(in, 1) },
+		"LPT":  func() (*SBOResult, error) { return SBOWithLPT(in, 1) },
+		"PTAS": func() (*SBOResult, error) { return SBOWithPTAS(in, 1, 0.3) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := in.ValidateAssignment(res.Assignment); err != nil {
+			t.Errorf("%s: invalid assignment: %v", name, err)
+		}
+	}
+	if _, err := SBOWithPTAS(in, 1, 0); err == nil {
+		t.Error("PTAS eps=0 accepted")
+	}
+	if _, err := SBOWithPTAS(in, 1, 1); err == nil {
+		t.Error("PTAS eps=1 accepted")
+	}
+}
+
+func TestSBOBoundsAccessors(t *testing.T) {
+	r := &SBOResult{Delta: 2, C: 10, M: 9}
+	if got := r.CmaxBound(); got != 30 {
+		t.Errorf("CmaxBound = %g, want 30", got)
+	}
+	if got := r.MmaxBound(); got != 13.5 {
+		t.Errorf("MmaxBound = %g, want 13.5", got)
+	}
+}
+
+// Monotonicity of the split: raising ∆ can only move tasks toward the
+// memory schedule, never back.
+func TestPropertySBOSplitMonotoneInDelta(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randInstance(rng, 30, 5, 200)
+		alg := makespan.LPT{}
+		r1, err1 := SBO(in, 0.5, alg, alg)
+		r2, err2 := SBO(in, 2.0, alg, alg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range r1.FromMemSchedule {
+			if r1.FromMemSchedule[i] && !r2.FromMemSchedule[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Huge-value robustness: the exact rational threshold must not
+// misroute tasks on ε-scaled instances (values up to 2^40).
+func TestSBOHugeValues(t *testing.T) {
+	const scale = int64(1) << 40
+	in := model.NewInstance(2,
+		[]model.Time{scale, scale / 2, scale / 2},
+		[]model.Mem{1, scale, scale})
+	res, err := SBO(in, 1, makespan.LPT{}, makespan.LPT{})
+	if err != nil {
+		t.Fatalf("SBO: %v", err)
+	}
+	if float64(res.Cmax) > 2*float64(res.C)+1 {
+		t.Errorf("Property 1 violated at scale: Cmax=%d C=%d", res.Cmax, res.C)
+	}
+	if float64(res.Mmax) > 2*float64(res.M)+1 {
+		t.Errorf("Property 2 violated at scale: Mmax=%d M=%d", res.Mmax, res.M)
+	}
+}

@@ -1,0 +1,133 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// TransitiveClosure returns reach, where reach[u][v>>6]&(1<<(v&63)) != 0
+// iff there is a directed path from u to v (u != v). Bitset rows keep
+// the closure affordable for the few-thousand-node graphs used in the
+// experiments.
+func (g *Graph) TransitiveClosure() ([][]uint64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	for i := range reach {
+		reach[i] = make([]uint64, words)
+	}
+	// Process in reverse topological order: reach[u] = union over
+	// successors v of ({v} ∪ reach[v]).
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		row := reach[u]
+		for _, v := range g.succs[u] {
+			row[v>>6] |= 1 << (uint(v) & 63)
+			vrow := reach[v]
+			for w := range row {
+				row[w] |= vrow[w]
+			}
+		}
+	}
+	return reach, nil
+}
+
+// Reachable reports whether v is reachable from u via the closure rows
+// produced by TransitiveClosure.
+func Reachable(reach [][]uint64, u, v int) bool {
+	return reach[u][v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// CountReachable returns the number of nodes reachable from u.
+func CountReachable(reach [][]uint64, u int) int {
+	c := 0
+	for _, w := range reach[u] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// TransitiveReduction returns a copy of the graph with every redundant
+// arc removed: an arc u -> v is redundant if some other successor of u
+// reaches v. The reduction preserves the precedence relation, hence all
+// schedules and bounds.
+func (g *Graph) TransitiveReduction() (*Graph, error) {
+	reach, err := g.TransitiveClosure()
+	if err != nil {
+		return nil, err
+	}
+	red := New(g.M, g.P, g.S)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.succs[u] {
+			redundant := false
+			for _, w := range g.succs[u] {
+				if w != v && Reachable(reach, w, v) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				red.AddEdge(u, v)
+			}
+		}
+	}
+	return red, nil
+}
+
+// WriteDOT emits the graph in Graphviz DOT format, labelling each node
+// with its processing time and storage size.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "dag"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%d\\np=%d s=%d\"];\n", v, v, g.P[v], g.S[v]); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.succs[u] {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Levels partitions nodes by top-level depth measured in hops (not
+// processing time): level 0 holds sources, level k+1 holds nodes whose
+// deepest predecessor sits at level k. Useful for layered rendering and
+// for the layered random generator's self-checks.
+func (g *Graph) Levels() ([][]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, g.N())
+	maxDepth := 0
+	for _, v := range order {
+		for _, u := range g.preds[v] {
+			if d := depth[u] + 1; d > depth[v] {
+				depth[v] = d
+			}
+		}
+		if depth[v] > maxDepth {
+			maxDepth = depth[v]
+		}
+	}
+	levels := make([][]int, maxDepth+1)
+	for _, v := range order {
+		levels[depth[v]] = append(levels[depth[v]], v)
+	}
+	return levels, nil
+}

@@ -1,0 +1,383 @@
+package dag
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"storagesched/internal/model"
+)
+
+// diamond builds the 4-node diamond 0 -> {1,2} -> 3 with unit times.
+func diamond() *Graph {
+	g := New(2, []model.Time{1, 2, 3, 1}, []model.Mem{1, 1, 1, 1})
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func TestAddEdgeAndAdjacency(t *testing.T) {
+	g := diamond()
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("adjacency wrong for edge (0,1)")
+	}
+	g.AddEdge(0, 1) // duplicate must be a no-op
+	if g.NumEdges() != 4 {
+		t.Errorf("duplicate edge changed count: %d", g.NumEdges())
+	}
+	if got := g.Preds(3); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Preds(3) = %v, want [1 2]", got)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New(1, []model.Time{1}, []model.Mem{0})
+	for _, fn := range []func(){
+		func() { g.AddEdge(0, 0) },
+		func() { g.AddEdge(0, 5) },
+		func() { g.AddEdge(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	g := diamond()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := make([]int, g.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Succs(u) {
+			if pos[u] >= pos[v] {
+				t.Errorf("topological order violated: %d before %d", v, u)
+			}
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := New(1, []model.Time{1, 1, 1}, []model.Mem{0, 0, 0})
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Error("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a cyclic graph")
+	}
+}
+
+func TestValidateRejectsBadValues(t *testing.T) {
+	g := New(0, []model.Time{1}, []model.Mem{0})
+	if err := g.Validate(); err == nil {
+		t.Error("m=0 accepted")
+	}
+	g2 := New(1, []model.Time{0}, []model.Mem{0})
+	if err := g2.Validate(); err == nil {
+		t.Error("p=0 accepted")
+	}
+	g3 := New(1, []model.Time{1}, []model.Mem{-1})
+	if err := g3.Validate(); err == nil {
+		t.Error("s<0 accepted")
+	}
+}
+
+func TestLevelsAndCriticalPathDiamond(t *testing.T) {
+	g := diamond()
+	top, err := g.TopLevels()
+	if err != nil {
+		t.Fatalf("TopLevels: %v", err)
+	}
+	want := []model.Time{0, 1, 1, 4} // task 3 waits for 0(1)+2(3)
+	for i := range want {
+		if top[i] != want[i] {
+			t.Errorf("top[%d] = %d, want %d", i, top[i], want[i])
+		}
+	}
+	bottom, err := g.BottomLevels()
+	if err != nil {
+		t.Fatalf("BottomLevels: %v", err)
+	}
+	wantB := []model.Time{5, 3, 4, 1} // 0: 1+3+1
+	for i := range wantB {
+		if bottom[i] != wantB[i] {
+			t.Errorf("bottom[%d] = %d, want %d", i, bottom[i], wantB[i])
+		}
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatalf("CriticalPath: %v", err)
+	}
+	if cp != 5 {
+		t.Errorf("CriticalPath = %d, want 5", cp)
+	}
+	nodes, err := g.CriticalPathNodes()
+	if err != nil {
+		t.Fatalf("CriticalPathNodes: %v", err)
+	}
+	var sum model.Time
+	for _, v := range nodes {
+		sum += g.P[v]
+	}
+	if sum != cp {
+		t.Errorf("critical path node sum = %d, want %d", sum, cp)
+	}
+	for k := 1; k < len(nodes); k++ {
+		if !g.HasEdge(nodes[k-1], nodes[k]) {
+			t.Errorf("critical path not a chain: no edge %d->%d", nodes[k-1], nodes[k])
+		}
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond()
+	if src := g.Sources(); len(src) != 1 || src[0] != 0 {
+		t.Errorf("Sources = %v, want [0]", src)
+	}
+	if snk := g.Sinks(); len(snk) != 1 || snk[0] != 3 {
+		t.Errorf("Sinks = %v, want [3]", snk)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := diamond()
+	reach, err := g.TransitiveClosure()
+	if err != nil {
+		t.Fatalf("TransitiveClosure: %v", err)
+	}
+	if !Reachable(reach, 0, 3) {
+		t.Error("0 should reach 3")
+	}
+	if Reachable(reach, 1, 2) || Reachable(reach, 3, 0) {
+		t.Error("spurious reachability")
+	}
+	if got := CountReachable(reach, 0); got != 3 {
+		t.Errorf("CountReachable(0) = %d, want 3", got)
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	g := diamond()
+	g.AddEdge(0, 3) // redundant: 0 -> 1 -> 3
+	red, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatalf("TransitiveReduction: %v", err)
+	}
+	if red.HasEdge(0, 3) {
+		t.Error("redundant edge (0,3) survived reduction")
+	}
+	if red.NumEdges() != 4 {
+		t.Errorf("reduced edges = %d, want 4", red.NumEdges())
+	}
+	// Reduction preserves reachability.
+	r1, _ := g.TransitiveClosure()
+	r2, _ := red.TransitiveClosure()
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if Reachable(r1, u, v) != Reachable(r2, u, v) {
+				t.Errorf("reduction changed reachability %d->%d", u, v)
+			}
+		}
+	}
+}
+
+func TestLevelsPartition(t *testing.T) {
+	g := diamond()
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(levels))
+	}
+	if len(levels[0]) != 1 || levels[0][0] != 0 {
+		t.Errorf("level 0 = %v, want [0]", levels[0])
+	}
+	if len(levels[1]) != 2 {
+		t.Errorf("level 1 = %v, want two nodes", levels[1])
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := diamond().WriteDOT(&buf, "test"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "n0 -> n1", "n2 -> n3", "p=1 s=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := diamond()
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Error("Clone shares adjacency with original")
+	}
+}
+
+func TestFromInstanceEdgeless(t *testing.T) {
+	in := model.NewInstance(3, []model.Time{5, 6}, []model.Mem{1, 2})
+	g := FromInstance(in)
+	if g.NumEdges() != 0 || g.M != 3 || g.N() != 2 {
+		t.Errorf("FromInstance wrong shape")
+	}
+	cp, _ := g.CriticalPath()
+	if cp != 6 {
+		t.Errorf("critical path of edgeless graph = %d, want max p = 6", cp)
+	}
+}
+
+// randomDAG builds a random order-DAG: nodes 0..n-1, arcs only from
+// lower to higher ids with probability q.
+func randomDAG(rng *rand.Rand, maxN int, q float64) *Graph {
+	n := 2 + rng.Intn(maxN)
+	p := make([]model.Time, n)
+	s := make([]model.Mem, n)
+	for i := range p {
+		p[i] = model.Time(1 + rng.Intn(20))
+		s[i] = model.Mem(rng.Intn(20))
+	}
+	g := New(1+rng.Intn(6), p, s)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < q {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestPropertyTopoOrderValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 30, 0.2)
+		order, err := g.TopoOrder()
+		if err != nil || len(order) != g.N() {
+			return false
+		}
+		pos := make([]int, g.N())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Succs(u) {
+				if pos[u] >= pos[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCriticalPathDominatesSampledChains(t *testing.T) {
+	// Any random directed walk's processing sum is at most the
+	// critical-path length.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 25, 0.3)
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			v := rng.Intn(g.N())
+			sum := g.P[v]
+			for len(g.Succs(v)) > 0 {
+				v = g.Succs(v)[rng.Intn(len(g.Succs(v)))]
+				sum += g.P[v]
+			}
+			if sum > cp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTopBottomConsistent(t *testing.T) {
+	// For every node, top[v] + bottom[v] <= critical path, with
+	// equality on at least one node.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 25, 0.25)
+		top, err1 := g.TopLevels()
+		bottom, err2 := g.BottomLevels()
+		cp, err3 := g.CriticalPath()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		hit := false
+		for v := 0; v < g.N(); v++ {
+			if top[v]+bottom[v] > cp {
+				return false
+			}
+			if top[v]+bottom[v] == cp {
+				hit = true
+			}
+		}
+		return hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReductionPreservesClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 18, 0.35)
+		red, err := g.TransitiveReduction()
+		if err != nil {
+			return false
+		}
+		if red.NumEdges() > g.NumEdges() {
+			return false
+		}
+		r1, _ := g.TransitiveClosure()
+		r2, _ := red.TransitiveClosure()
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if Reachable(r1, u, v) != Reachable(r2, u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

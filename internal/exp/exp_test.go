@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ABL1", "ABL2", "ABL3",
+		"COR1", "COR23", "COR4",
+		"EXT1", "EXT2", "EXT3", "EXT4",
+		"FIG1", "FIG2", "FIG3",
+		"LEM12", "LEM3", "LEM6",
+		"PROP12", "SEC7",
+	}
+	got := Registry()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("FIG1"); !ok {
+		t.Error("FIG1 not found")
+	}
+	if _, ok := ByID("NOPE"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+// Every experiment must run clean: no claim violations, non-empty
+// report.
+func TestAllExperimentsPassTheirClaims(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("claim check failed: %v\n%s", err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Error("empty report")
+			}
+			if strings.Contains(buf.String(), "VIOLATED") {
+				t.Errorf("report contains a violation:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestRunAllAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll duplicates per-experiment tests")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	out := buf.String()
+	for _, id := range []string{"FIG1", "PROP12", "COR23", "SEC7"} {
+		if !strings.Contains(out, "==== "+id) {
+			t.Errorf("RunAll output missing %s section", id)
+		}
+	}
+	if !strings.Contains(out, "claim check: OK") {
+		t.Error("no OK claim checks in RunAll output")
+	}
+}
+
+func TestFigureReportsContainGanttAndPlot(t *testing.T) {
+	var buf bytes.Buffer
+	fig1, _ := ByID("FIG1")
+	if err := fig1.Run(&buf); err != nil {
+		t.Fatalf("FIG1: %v", err)
+	}
+	if !strings.Contains(buf.String(), "P0") || !strings.Contains(buf.String(), "Cmax=") {
+		t.Errorf("FIG1 report lacks Gantt rows:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	fig3, _ := ByID("FIG3")
+	if err := fig3.Run(&buf); err != nil {
+		t.Fatalf("FIG3: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SBO curve") || !strings.Contains(out, "Lemma 2 frontier, m=2") {
+		t.Errorf("FIG3 report lacks plot legend:\n%s", out)
+	}
+}
+
+func TestRatioRowFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	if viol := ratioRow(&buf, "test", 1.0, 2.0); viol {
+		t.Error("1.0 <= 2.0 flagged as violation")
+	}
+	if !strings.Contains(buf.String(), "[ok]") {
+		t.Errorf("missing ok marker: %q", buf.String())
+	}
+	buf.Reset()
+	if viol := ratioRow(&buf, "test", 3.0, 2.0); !viol {
+		t.Error("3.0 > 2.0 not flagged")
+	}
+	if !strings.Contains(buf.String(), "VIOLATED") {
+		t.Errorf("missing VIOLATED marker: %q", buf.String())
+	}
+}
+
+var _ io.Writer = (*bytes.Buffer)(nil)

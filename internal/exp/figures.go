@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"storagesched/internal/gantt"
+	"storagesched/internal/hardness"
+	"storagesched/internal/model"
+	"storagesched/internal/pareto"
+	"storagesched/internal/textplot"
+)
+
+// figScale keeps the ε-instances exact but the enumeration instant.
+const figScale = int64(1) << 12
+
+func init() {
+	register(Experiment{
+		ID:    "FIG1",
+		Title: "Figure 1 — the two Pareto-optimal schedules of the Section 4.1 instance",
+		Paper: "m=2, p=(1,1/2,1/2), s=(eps,1,1): front {(1,2), (3/2,1+eps)}; (2,2+eps) dominated",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID:    "FIG2",
+		Title: "Figure 2 — the three Pareto-optimal schedules of the Section 4.3 instance",
+		Paper: "m=2, p=(1,eps,1-eps), s=(eps,1,1-eps): front {(1,2-eps), (1+eps,1+eps), (2-eps,1)}",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "FIG3",
+		Title: "Figure 3 — impossibility domain for m=2..6 and the SBO tradeoff curve",
+		Paper: "no algorithm beats the Lemma 2/3 frontier; the dashed (1+d, 1+1/d) curve is achievable",
+		Run:   runFig3,
+	})
+}
+
+func runFig1(w io.Writer) error {
+	in := hardness.Lemma1Instance(figScale)
+	pts, err := pareto.Front(in)
+	if err != nil {
+		return err
+	}
+	want := hardness.Lemma1Front(figScale)
+	fmt.Fprintf(w, "instance: scale=%d (eps = 1/scale)\n", figScale)
+	printFrontComparison(w, pareto.Values(pts), want, figScale)
+	if !pareto.SameFront(pareto.Values(pts), want) {
+		return fmt.Errorf("enumerated front differs from the paper's Figure 1 front")
+	}
+	for i, p := range pts {
+		fmt.Fprintf(w, "\nPareto schedule %d — value (%.4f, %.4f) in units of the optimum:\n",
+			i+1, float64(p.Value.Cmax)/float64(figScale), float64(p.Value.Mmax)/float64(figScale))
+		if err := gantt.RenderAssignment(w, in, p.Assignment, gantt.Options{Width: 48, ShowMemory: true}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig2(w io.Writer) error {
+	eps := figScale / 8
+	in := hardness.Lemma3Instance(figScale, eps)
+	pts, err := pareto.Front(in)
+	if err != nil {
+		return err
+	}
+	want := hardness.Lemma3Front(figScale, eps)
+	fmt.Fprintf(w, "instance: scale=%d, eps=%d (eps = 1/8)\n", figScale, eps)
+	printFrontComparison(w, pareto.Values(pts), want, figScale)
+	if !pareto.SameFront(pareto.Values(pts), want) {
+		return fmt.Errorf("enumerated front differs from the paper's Figure 2 front")
+	}
+	for i, p := range pts {
+		fmt.Fprintf(w, "\nPareto schedule %d:\n", i+1)
+		if err := gantt.RenderAssignment(w, in, p.Assignment, gantt.Options{Width: 48, ShowMemory: true}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printFrontComparison(w io.Writer, got, want []model.Value, scale int64) {
+	fmt.Fprintf(w, "%-28s %-28s\n", "enumerated (Cmax, Mmax)", "paper closed form")
+	n := len(got)
+	if len(want) > n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		g, p := "-", "-"
+		if i < len(got) {
+			g = fmt.Sprintf("(%.4f, %.4f)", float64(got[i].Cmax)/float64(scale), float64(got[i].Mmax)/float64(scale))
+		}
+		if i < len(want) {
+			p = fmt.Sprintf("(%.4f, %.4f)", float64(want[i].Cmax)/float64(scale), float64(want[i].Mmax)/float64(scale))
+		}
+		fmt.Fprintf(w, "%-28s %-28s\n", g, p)
+	}
+}
+
+func runFig3(w io.Writer) error {
+	const kMax = 64
+	plot := textplot.New(72, 24, 1, 4, 1, 3)
+	markers := map[int]rune{2: '2', 3: '3', 4: '4', 5: '5', 6: '6'}
+	for m := 2; m <= 6; m++ {
+		env := hardness.FrontierEnvelope(m, 300)
+		var xs, ys []float64
+		for _, p := range env {
+			xs = append(xs, p.Rc)
+			ys = append(ys, p.Rm)
+			sp := hardness.SwapRatio(p)
+			xs = append(xs, sp.Rc)
+			ys = append(ys, sp.Rm)
+		}
+		plot.Add(textplot.Series{
+			Name:   fmt.Sprintf("Lemma 2 frontier, m=%d (and symmetric)", m),
+			Marker: markers[m],
+			X:      xs, Y: ys,
+		})
+	}
+	l3 := hardness.Lemma3Point()
+	plot.Add(textplot.Series{Name: "Lemma 3 point (3/2,3/2), m=2", Marker: 'L', X: []float64{l3.Rc}, Y: []float64{l3.Rm}})
+
+	curve := hardness.SBOCurve(0.05, 20, 400)
+	var cx, cy []float64
+	for _, p := range curve {
+		cx = append(cx, p.Rc)
+		cy = append(cy, p.Rm)
+	}
+	plot.Add(textplot.Series{Name: "SBO curve (1+d, 1+1/d) — achievable (dashed in the paper)", Marker: '*', X: cx, Y: cy})
+	if err := plot.Render(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nLemma 2 corner points (k=4):\n")
+	for m := 2; m <= 6; m++ {
+		fmt.Fprintf(w, "  m=%d:", m)
+		for _, p := range hardness.Lemma2FrontierPoints(m, 4) {
+			fmt.Fprintf(w, " (%.3f,%.3f)", p.Rc, p.Rm)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Consistency check: the achievable SBO curve never enters the
+	// impossibility domain, for any m.
+	for m := 2; m <= 6; m++ {
+		for _, p := range curve {
+			if hardness.Impossible(p, m, kMax) {
+				return fmt.Errorf("SBO point (%.4f, %.4f) lies inside the impossible domain for m=%d", p.Rc, p.Rm, m)
+			}
+		}
+	}
+	// And spot-check that the domain is non-trivial: (1, 1.9) and
+	// (1.45, 1.45) must be impossible (Lemmas 1 and 3).
+	if !hardness.Impossible(hardness.RatioPoint{Rc: 1, Rm: 1.9}, 2, kMax) {
+		return fmt.Errorf("(1,1.9) not recognised impossible (Lemma 1)")
+	}
+	if !hardness.Impossible(hardness.RatioPoint{Rc: 1.45, Rm: 1.45}, 2, kMax) {
+		return fmt.Errorf("(1.45,1.45) not recognised impossible (Lemma 3)")
+	}
+	return nil
+}

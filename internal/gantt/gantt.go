@@ -1,0 +1,145 @@
+// Package gantt renders schedules as ASCII Gantt charts in the style
+// of Figures 1 and 2 of the paper: one row per processor, box widths
+// proportional to processing times, and each task labelled with its
+// memory consumption.
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"storagesched/internal/model"
+)
+
+// Options control the rendering.
+type Options struct {
+	// Width is the number of character columns the busiest processor
+	// occupies; 0 means 60.
+	Width int
+	// ShowMemory appends the per-processor memory total at the end
+	// of each row and labels each task box with its s value.
+	ShowMemory bool
+	// Names optionally labels tasks (index-aligned); falls back to
+	// task ids.
+	Names []string
+}
+
+// Render writes an ASCII Gantt chart of the schedule to w.
+func Render(w io.Writer, sc *model.Schedule, opts Options) error {
+	width := opts.Width
+	if width <= 0 {
+		width = 60
+	}
+	horizon := sc.Cmax()
+	if horizon == 0 {
+		horizon = 1
+	}
+	col := func(t model.Time) int {
+		return int(int64(t) * int64(width) / int64(horizon))
+	}
+
+	type box struct {
+		task  int
+		start model.Time
+		end   model.Time
+	}
+	byProc := make([][]box, sc.M)
+	for i, q := range sc.Proc {
+		if q < 0 {
+			continue
+		}
+		byProc[q] = append(byProc[q], box{task: i, start: sc.Start[i], end: sc.Completion(i)})
+	}
+	memLoads := sc.MemLoads()
+
+	for q := 0; q < sc.M; q++ {
+		boxes := byProc[q]
+		sort.Slice(boxes, func(a, b int) bool { return boxes[a].start < boxes[b].start })
+		line := make([]byte, width+1)
+		for i := range line {
+			line[i] = ' '
+		}
+		labels := make([]string, 0, len(boxes))
+		for _, b := range boxes {
+			lo, hi := col(b.start), col(b.end)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > len(line) {
+				hi = len(line)
+			}
+			for c := lo; c < hi; c++ {
+				line[c] = '='
+			}
+			if lo < len(line) {
+				line[lo] = '['
+			}
+			if hi-1 < len(line) && hi-1 >= 0 {
+				line[hi-1] = ']'
+			}
+			name := fmt.Sprintf("t%d", b.task)
+			if opts.Names != nil && b.task < len(opts.Names) && opts.Names[b.task] != "" {
+				name = opts.Names[b.task]
+			}
+			if opts.ShowMemory {
+				labels = append(labels, fmt.Sprintf("%s(s=%d)", name, sc.S[b.task]))
+			} else {
+				labels = append(labels, name)
+			}
+		}
+		suffix := ""
+		if opts.ShowMemory {
+			suffix = fmt.Sprintf("  mem=%d", memLoads[q])
+		}
+		if _, err := fmt.Fprintf(w, "P%-2d |%s|%s  %s\n", q, string(line[:width]), suffix, strings.Join(labels, " ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "Cmax=%d Mmax=%d SumCi=%d\n", sc.Cmax(), sc.Mmax(), sc.SumCi())
+	return err
+}
+
+// RenderAssignment renders an independent-task assignment by packing
+// tasks back to back (order irrelevant to both objectives).
+func RenderAssignment(w io.Writer, in *model.Instance, a model.Assignment, opts Options) error {
+	return Render(w, model.FromAssignment(in, a), opts)
+}
+
+// MemoryBars writes one bar per processor showing cumulative memory
+// against a cap (e.g. ∆·LB), marking the cap column with '|'.
+func MemoryBars(w io.Writer, sc *model.Schedule, cap model.Mem, width int) error {
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := cap
+	for _, l := range sc.MemLoads() {
+		if l > maxVal {
+			maxVal = l
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	capCol := int(int64(cap) * int64(width) / int64(maxVal))
+	for q, l := range sc.MemLoads() {
+		fill := int(int64(l) * int64(width) / int64(maxVal))
+		bar := make([]byte, width+1)
+		for i := range bar {
+			switch {
+			case i < fill:
+				bar[i] = '#'
+			case i == capCol:
+				bar[i] = '|'
+			default:
+				bar[i] = ' '
+			}
+		}
+		if _, err := fmt.Fprintf(w, "P%-2d %s %d\n", q, string(bar), l); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "cap (|) = %d\n", cap)
+	return err
+}

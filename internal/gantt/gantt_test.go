@@ -1,0 +1,114 @@
+package gantt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"storagesched/internal/model"
+)
+
+func figure1LeftSchedule() (*model.Instance, model.Assignment) {
+	// The left schedule of Figure 1: task 1 alone (value (1,2) at
+	// scale 4 with ε=1): p=(4,2,2), s=(1,4,4), tasks 2,3 share proc 1.
+	in := model.NewInstance(2, []model.Time{4, 2, 2}, []model.Mem{1, 4, 4})
+	return in, model.Assignment{0, 1, 1}
+}
+
+func TestRenderBasics(t *testing.T) {
+	in, a := figure1LeftSchedule()
+	var buf bytes.Buffer
+	if err := RenderAssignment(&buf, in, a, Options{Width: 20, ShowMemory: true}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"P0", "P1", "Cmax=4", "Mmax=8", "mem=1", "mem=8", "t0(s=1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Two processor rows + objective line.
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("output has %d lines, want 3:\n%s", lines, out)
+	}
+}
+
+func TestRenderCustomNames(t *testing.T) {
+	in, a := figure1LeftSchedule()
+	var buf bytes.Buffer
+	err := RenderAssignment(&buf, in, a, Options{Width: 20, Names: []string{"alpha", "beta", "gamma"}})
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "alpha") {
+		t.Errorf("custom name missing:\n%s", buf.String())
+	}
+}
+
+func TestRenderZeroWidthDefaults(t *testing.T) {
+	in, a := figure1LeftSchedule()
+	var buf bytes.Buffer
+	if err := RenderAssignment(&buf, in, a, Options{}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestRenderEmptySchedule(t *testing.T) {
+	sc := model.NewSchedule(2, 0)
+	var buf bytes.Buffer
+	if err := Render(&buf, sc, Options{Width: 10}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Cmax=0") {
+		t.Errorf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestBoxWidthsProportional(t *testing.T) {
+	// One processor, two tasks 1:3 — the second box must be wider.
+	in := model.NewInstance(1, []model.Time{10, 30}, []model.Mem{0, 0})
+	var buf bytes.Buffer
+	if err := RenderAssignment(&buf, in, model.Assignment{0, 0}, Options{Width: 40}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	row := strings.SplitN(buf.String(), "\n", 2)[0]
+	// Count '=' + brackets inside each box: first box spans 10
+	// columns, second 30 (width 40, horizon 40).
+	inner := row[strings.Index(row, "|")+1:]
+	inner = inner[:strings.Index(inner, "|")]
+	if len(inner) != 40 {
+		t.Fatalf("canvas width %d, want 40", len(inner))
+	}
+	first := strings.Count(inner[:10], "=") + strings.Count(inner[:10], "[") + strings.Count(inner[:10], "]")
+	second := strings.Count(inner[10:], "=") + strings.Count(inner[10:], "[") + strings.Count(inner[10:], "]")
+	if first != 10 || second != 30 {
+		t.Errorf("box fills = %d/%d, want 10/30 (row %q)", first, second, row)
+	}
+}
+
+func TestMemoryBars(t *testing.T) {
+	in := model.NewInstance(2, []model.Time{1, 1}, []model.Mem{6, 2})
+	sc := model.FromAssignment(in, model.Assignment{0, 1})
+	var buf bytes.Buffer
+	if err := MemoryBars(&buf, sc, 8, 16); err != nil {
+		t.Fatalf("MemoryBars: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cap (|) = 8") {
+		t.Errorf("missing cap line:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasSuffix(lines[0], "6") || !strings.HasSuffix(lines[1], "2") {
+		t.Errorf("memory totals missing:\n%s", out)
+	}
+	// P0 bar (6/8 of width 16 = 12 chars) longer than P1 (4 chars).
+	if strings.Count(lines[0], "#") <= strings.Count(lines[1], "#") {
+		t.Errorf("bar lengths not ordered:\n%s", out)
+	}
+}

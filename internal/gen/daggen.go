@@ -1,0 +1,312 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"storagesched/internal/dag"
+	"storagesched/internal/model"
+)
+
+// DAG generators. Section 5 motivates precedence constraints with
+// embedded-system applications; the families below are the standard
+// task-graph shapes of the DAG-scheduling literature: random layered
+// graphs, random order-DAGs (Erdős–Rényi over a fixed topological
+// order), fork-join, in/out-trees, diamond meshes (stencils), FFT
+// butterflies, Gaussian-elimination graphs and series-parallel graphs.
+// All take (m, size parameters, seed) and fill p, s uniformly from
+// small ranges unless noted.
+
+func randomWeights(rng *rand.Rand, n int, maxP, maxS int64) ([]model.Time, []model.Mem) {
+	p := make([]model.Time, n)
+	s := make([]model.Mem, n)
+	for i := 0; i < n; i++ {
+		p[i] = rng.Int63n(maxP) + 1
+		s[i] = rng.Int63n(maxS + 1)
+	}
+	return p, s
+}
+
+// LayeredDAG builds `layers` layers of `width` nodes; each node gets
+// 1..3 predecessors from the previous layer.
+func LayeredDAG(m, layers, width int, seed int64) *dag.Graph {
+	if layers < 1 || width < 1 {
+		panic(fmt.Sprintf("gen: layered DAG needs layers, width >= 1, got %d, %d", layers, width))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := layers * width
+	p, s := randomWeights(rng, n, 50, 50)
+	g := dag.New(m, p, s)
+	for l := 1; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			v := l*width + w
+			deg := 1 + rng.Intn(3)
+			for d := 0; d < deg; d++ {
+				u := (l-1)*width + rng.Intn(width)
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// ErdosRenyiDAG draws each forward arc (u, v), u < v, independently
+// with probability prob.
+func ErdosRenyiDAG(m, n int, prob float64, seed int64) *dag.Graph {
+	if n < 1 || prob < 0 || prob > 1 {
+		panic(fmt.Sprintf("gen: bad Erdős–Rényi parameters n=%d prob=%g", n, prob))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p, s := randomWeights(rng, n, 50, 50)
+	g := dag.New(m, p, s)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < prob {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// ForkJoin builds `stages` sequential stages, each a fork of `width`
+// parallel tasks between a fork node and a join node:
+// fork -> w parallel tasks -> join -> fork -> ...
+func ForkJoin(m, stages, width int, seed int64) *dag.Graph {
+	if stages < 1 || width < 1 {
+		panic(fmt.Sprintf("gen: fork-join needs stages, width >= 1, got %d, %d", stages, width))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := stages*(width+1) + 1
+	p, s := randomWeights(rng, n, 50, 50)
+	g := dag.New(m, p, s)
+	join := 0 // node 0 is the initial fork
+	next := 1
+	for st := 0; st < stages; st++ {
+		first := next
+		for w := 0; w < width; w++ {
+			g.AddEdge(join, next)
+			next++
+		}
+		for w := 0; w < width; w++ {
+			g.AddEdge(first+w, next)
+		}
+		join = next
+		next++
+	}
+	return g
+}
+
+// OutTree builds a complete `arity`-ary out-tree with n nodes (root
+// first, children follow breadth-first).
+func OutTree(m, n, arity int, seed int64) *dag.Graph {
+	if n < 1 || arity < 1 {
+		panic(fmt.Sprintf("gen: out-tree needs n, arity >= 1, got %d, %d", n, arity))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p, s := randomWeights(rng, n, 50, 50)
+	g := dag.New(m, p, s)
+	for v := 1; v < n; v++ {
+		g.AddEdge((v-1)/arity, v)
+	}
+	return g
+}
+
+// InTree is the reversal of OutTree: leaves first, edges point toward
+// the root (node n−1). Models reductions.
+func InTree(m, n, arity int, seed int64) *dag.Graph {
+	if n < 1 || arity < 1 {
+		panic(fmt.Sprintf("gen: in-tree needs n, arity >= 1, got %d, %d", n, arity))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p, s := randomWeights(rng, n, 50, 50)
+	g := dag.New(m, p, s)
+	for v := 1; v < n; v++ {
+		// Mirror of OutTree: edge v -> parent, with node ids
+		// reversed so the root is last.
+		g.AddEdge(n-1-v, n-1-(v-1)/arity)
+	}
+	return g
+}
+
+// Diamond builds a size×size diamond mesh (wavefront/stencil): node
+// (i, j) precedes (i+1, j) and (i, j+1).
+func Diamond(m, size int, seed int64) *dag.Graph {
+	if size < 1 {
+		panic(fmt.Sprintf("gen: diamond needs size >= 1, got %d", size))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := size * size
+	p, s := randomWeights(rng, n, 50, 50)
+	g := dag.New(m, p, s)
+	id := func(i, j int) int { return i*size + j }
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			if i+1 < size {
+				g.AddEdge(id(i, j), id(i+1, j))
+			}
+			if j+1 < size {
+				g.AddEdge(id(i, j), id(i, j+1))
+			}
+		}
+	}
+	return g
+}
+
+// FFT builds the butterfly graph of a 2^logN-point FFT: logN+1 ranks
+// of 2^logN nodes; node (r, i) feeds (r+1, i) and (r+1, i XOR 2^r).
+func FFT(m, logN int, seed int64) *dag.Graph {
+	if logN < 1 || logN > 10 {
+		panic(fmt.Sprintf("gen: FFT needs 1 <= logN <= 10, got %d", logN))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	width := 1 << logN
+	n := (logN + 1) * width
+	p, s := randomWeights(rng, n, 20, 20)
+	g := dag.New(m, p, s)
+	id := func(r, i int) int { return r*width + i }
+	for r := 0; r < logN; r++ {
+		for i := 0; i < width; i++ {
+			g.AddEdge(id(r, i), id(r+1, i))
+			g.AddEdge(id(r, i), id(r+1, i^(1<<r)))
+		}
+	}
+	return g
+}
+
+// GaussianElimination builds the task graph of column-oriented
+// Gaussian elimination on a k×k matrix: pivot task T(j,j) precedes
+// updates T(j,i) for i > j, and T(j,i) precedes T(j+1,i). This is the
+// classic "GE" benchmark DAG of the scheduling literature.
+func GaussianElimination(m, k int, seed int64) *dag.Graph {
+	if k < 2 {
+		panic(fmt.Sprintf("gen: Gaussian elimination needs k >= 2, got %d", k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Tasks T(j,i) for 0 <= j < k-1 (step), j <= i < k; T(j,j) is the
+	// pivot of step j.
+	type key struct{ j, i int }
+	ids := map[key]int{}
+	n := 0
+	for j := 0; j < k-1; j++ {
+		for i := j; i < k; i++ {
+			ids[key{j, i}] = n
+			n++
+		}
+	}
+	p, s := randomWeights(rng, n, 50, 50)
+	g := dag.New(m, p, s)
+	for j := 0; j < k-1; j++ {
+		for i := j + 1; i < k; i++ {
+			g.AddEdge(ids[key{j, j}], ids[key{j, i}]) // pivot -> update
+			if j+1 < k-1 && i >= j+1 {
+				g.AddEdge(ids[key{j, i}], ids[key{j + 1, i}]) // update -> next step
+			}
+		}
+	}
+	return g
+}
+
+// SeriesParallel builds a random series-parallel graph by recursive
+// composition (depth controls the recursion, each level choosing
+// series or parallel composition at random).
+func SeriesParallel(m, depth int, seed int64) *dag.Graph {
+	if depth < 0 || depth > 12 {
+		panic(fmt.Sprintf("gen: series-parallel needs 0 <= depth <= 12, got %d", depth))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type edge struct{ u, v int }
+	var edges []edge
+	nodes := 2 // 0 = source, 1 = sink
+	// expand replaces the edge (u, v) recursively.
+	var expand func(u, v, d int)
+	expand = func(u, v, d int) {
+		if d == 0 {
+			edges = append(edges, edge{u, v})
+			return
+		}
+		if rng.Intn(2) == 0 {
+			// Series: u -> w -> v.
+			w := nodes
+			nodes++
+			expand(u, w, d-1)
+			expand(w, v, d-1)
+		} else {
+			// Parallel: two branches u -> v.
+			expand(u, v, d-1)
+			expand(u, v, d-1)
+		}
+	}
+	expand(0, 1, depth)
+	p, s := randomWeights(rng, nodes, 50, 50)
+	g := dag.New(m, p, s)
+	for _, e := range edges {
+		g.AddEdge(e.u, e.v)
+	}
+	return g
+}
+
+// Chain builds a simple n-node chain — the worst case for parallelism
+// and a useful calibration instance (Cmax must equal Σp).
+func Chain(m, n int, seed int64) *dag.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("gen: chain needs n >= 1, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p, s := randomWeights(rng, n, 50, 50)
+	g := dag.New(m, p, s)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v)
+	}
+	return g
+}
+
+// NamedDAGFamily pairs a DAG family name with a sized generator.
+type NamedDAGFamily struct {
+	Name string
+	// Gen builds a graph of roughly n nodes on m processors.
+	Gen func(m, n int, seed int64) *dag.Graph
+}
+
+// DAGFamilies returns the named DAG families scaled by a single
+// target size, for sweep experiments.
+func DAGFamilies() []NamedDAGFamily {
+	return []NamedDAGFamily{
+		{"layered", func(m, n int, seed int64) *dag.Graph {
+			width := 4
+			layers := (n + width - 1) / width
+			if layers < 1 {
+				layers = 1
+			}
+			return LayeredDAG(m, layers, width, seed)
+		}},
+		{"erdos", func(m, n int, seed int64) *dag.Graph {
+			return ErdosRenyiDAG(m, n, 0.1, seed)
+		}},
+		{"forkjoin", func(m, n int, seed int64) *dag.Graph {
+			width := 6
+			stages := n / (width + 1)
+			if stages < 1 {
+				stages = 1
+			}
+			return ForkJoin(m, stages, width, seed)
+		}},
+		{"outtree", func(m, n int, seed int64) *dag.Graph {
+			return OutTree(m, n, 3, seed)
+		}},
+		{"diamond", func(m, n int, seed int64) *dag.Graph {
+			size := 2
+			for size*size < n {
+				size++
+			}
+			return Diamond(m, size, seed)
+		}},
+		{"gauss", func(m, n int, seed int64) *dag.Graph {
+			k := 2
+			for k*(k+1)/2 < n {
+				k++
+			}
+			return GaussianElimination(m, k, seed)
+		}},
+	}
+}

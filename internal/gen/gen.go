@@ -1,0 +1,222 @@
+// Package gen produces the synthetic workloads the experiments run on.
+// The paper motivates the problem with two application domains —
+// multi-SoC embedded systems storing instruction code and grid physics
+// batches storing results — and evaluates nothing empirically, so the
+// instance families here are the standard ones used by the scheduling
+// literature for simulation studies: uniform, bimodal, correlated and
+// anti-correlated (p, s) mixes, plus domain-flavoured presets for the
+// two motivating applications. All generators take an explicit seed
+// and are deterministic.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"storagesched/internal/model"
+)
+
+// Config shapes an independent-task instance generator.
+type Config struct {
+	N int // number of tasks (> 0)
+	M int // number of processors (> 0)
+
+	// PMin, PMax bound processing times (inclusive; both > 0).
+	PMin, PMax int64
+	// SMin, SMax bound storage sizes (inclusive; SMin >= 0).
+	SMin, SMax int64
+
+	// Correlation couples s to p: 0 leaves them independent, +1
+	// makes s a noisy increasing function of p, −1 a noisy
+	// decreasing one. Values in [−1, 1].
+	Correlation float64
+
+	// BimodalFraction, when positive, makes that fraction of tasks
+	// "heavy": their p and s are drawn from the top decile of the
+	// ranges. Models the few long jobs / huge codes that dominate
+	// real mixes.
+	BimodalFraction float64
+}
+
+func (c Config) validate() error {
+	if c.N <= 0 || c.M <= 0 {
+		return fmt.Errorf("gen: need N > 0 and M > 0, got N=%d M=%d", c.N, c.M)
+	}
+	if c.PMin <= 0 || c.PMax < c.PMin {
+		return fmt.Errorf("gen: bad processing range [%d, %d]", c.PMin, c.PMax)
+	}
+	if c.SMin < 0 || c.SMax < c.SMin {
+		return fmt.Errorf("gen: bad storage range [%d, %d]", c.SMin, c.SMax)
+	}
+	if c.Correlation < -1 || c.Correlation > 1 {
+		return fmt.Errorf("gen: correlation %g outside [-1, 1]", c.Correlation)
+	}
+	if c.BimodalFraction < 0 || c.BimodalFraction > 1 {
+		return fmt.Errorf("gen: bimodal fraction %g outside [0, 1]", c.BimodalFraction)
+	}
+	return nil
+}
+
+// span returns a uniform draw in [lo, hi].
+func span(rng *rand.Rand, lo, hi int64) int64 {
+	if hi == lo {
+		return lo
+	}
+	return lo + rng.Int63n(hi-lo+1)
+}
+
+// Instance draws one instance from the configuration.
+func Instance(cfg Config, seed int64) (*model.Instance, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]model.Time, cfg.N)
+	s := make([]model.Mem, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		heavy := cfg.BimodalFraction > 0 && rng.Float64() < cfg.BimodalFraction
+		pLo, pHi := cfg.PMin, cfg.PMax
+		sLo, sHi := cfg.SMin, cfg.SMax
+		if heavy {
+			pLo = cfg.PMin + 9*(cfg.PMax-cfg.PMin)/10
+			sLo = cfg.SMin + 9*(cfg.SMax-cfg.SMin)/10
+		}
+		p[i] = span(rng, pLo, pHi)
+		if cfg.Correlation == 0 {
+			s[i] = span(rng, sLo, sHi)
+			continue
+		}
+		// Blend a p-derived value with an independent draw.
+		var frac float64
+		if cfg.PMax > cfg.PMin {
+			frac = float64(p[i]-cfg.PMin) / float64(cfg.PMax-cfg.PMin)
+		}
+		if cfg.Correlation < 0 {
+			frac = 1 - frac
+		}
+		w := cfg.Correlation
+		if w < 0 {
+			w = -w
+		}
+		base := float64(sLo) + frac*float64(sHi-sLo)
+		noise := float64(span(rng, sLo, sHi))
+		v := int64(w*base + (1-w)*noise)
+		if v < cfg.SMin {
+			v = cfg.SMin
+		}
+		if v > cfg.SMax {
+			v = cfg.SMax
+		}
+		s[i] = v
+	}
+	return model.NewInstance(cfg.M, p, s), nil
+}
+
+// Uniform is the plain family: p and s uniform and independent.
+func Uniform(n, m int, seed int64) *model.Instance {
+	in, err := Instance(Config{N: n, M: m, PMin: 1, PMax: 100, SMin: 0, SMax: 100}, seed)
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	return in
+}
+
+// Correlated couples storage to processing time (long jobs keep big
+// intermediate results), the regime where one schedule serves both
+// objectives well.
+func Correlated(n, m int, seed int64) *model.Instance {
+	in, err := Instance(Config{N: n, M: m, PMin: 1, PMax: 100, SMin: 1, SMax: 100, Correlation: 0.9}, seed)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Anticorrelated opposes the objectives (quick jobs with huge code,
+// long jobs with tiny code) — the adversarial regime SBO's threshold
+// is designed for (Section 3.1's intuition).
+func Anticorrelated(n, m int, seed int64) *model.Instance {
+	in, err := Instance(Config{N: n, M: m, PMin: 1, PMax: 100, SMin: 1, SMax: 100, Correlation: -0.9}, seed)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// EmbeddedCode models the multi-SoC scenario of the introduction:
+// many small routines plus a few large replicated kernels, storage
+// dominated by code size, short execution bursts.
+func EmbeddedCode(n, m int, seed int64) *model.Instance {
+	in, err := Instance(Config{
+		N: n, M: m,
+		PMin: 1, PMax: 20,
+		SMin: 8, SMax: 512,
+		BimodalFraction: 0.15,
+	}, seed)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// GridBatch models the large-physics batch of the introduction
+// (ATLAS-style production): long jobs whose output size tracks
+// processing time.
+func GridBatch(n, m int, seed int64) *model.Instance {
+	in, err := Instance(Config{
+		N: n, M: m,
+		PMin: 50, PMax: 5000,
+		SMin: 10, SMax: 2000,
+		Correlation:     0.7,
+		BimodalFraction: 0.05,
+	}, seed)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// AdversarialCross builds the regime Section 3.1's intuition is about:
+// m "long, memory-light" tasks and m "short, memory-heavy" tasks with
+// one slightly lighter task in each group. A schedule optimized for
+// one objective alone piles the whole opposite group onto the lighter
+// task's processor (its load stays minimal), blowing the other
+// objective up by a factor ~m, while SBO's per-task threshold spreads
+// both groups. K is the heavy magnitude and must exceed 4m.
+func AdversarialCross(m int, k int64) *model.Instance {
+	if m < 2 || k <= 4*int64(m) {
+		panic(fmt.Sprintf("gen: AdversarialCross needs m >= 2 and K > 4m, got m=%d K=%d", m, k))
+	}
+	n := 2 * m
+	p := make([]model.Time, n)
+	s := make([]model.Mem, n)
+	// Long tasks: one lighter (K−2m), the rest K; all memory 1.
+	p[0], s[0] = k-2*int64(m), 1
+	for i := 1; i < m; i++ {
+		p[i], s[i] = k, 1
+	}
+	// Short tasks: mirror image on the memory axis.
+	p[m], s[m] = 1, k-2*int64(m)
+	for i := m + 1; i < n; i++ {
+		p[i], s[i] = 1, k
+	}
+	return model.NewInstance(m, p, s)
+}
+
+// Families returns the named independent-task families for sweep
+// experiments, in a stable order.
+func Families() []NamedFamily {
+	return []NamedFamily{
+		{"uniform", Uniform},
+		{"correlated", Correlated},
+		{"anticorrelated", Anticorrelated},
+		{"embedded", EmbeddedCode},
+		{"gridbatch", GridBatch},
+	}
+}
+
+// NamedFamily pairs a family name with its generator.
+type NamedFamily struct {
+	Name string
+	Gen  func(n, m int, seed int64) *model.Instance
+}

@@ -1,0 +1,320 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"storagesched/internal/dag"
+)
+
+func TestInstanceValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, M: 1, PMin: 1, PMax: 2},
+		{N: 1, M: 0, PMin: 1, PMax: 2},
+		{N: 1, M: 1, PMin: 0, PMax: 2},
+		{N: 1, M: 1, PMin: 3, PMax: 2},
+		{N: 1, M: 1, PMin: 1, PMax: 2, SMin: -1},
+		{N: 1, M: 1, PMin: 1, PMax: 2, SMin: 3, SMax: 2},
+		{N: 1, M: 1, PMin: 1, PMax: 2, Correlation: 2},
+		{N: 1, M: 1, PMin: 1, PMax: 2, BimodalFraction: -0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Instance(cfg, 1); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestInstanceDeterministic(t *testing.T) {
+	cfg := Config{N: 50, M: 4, PMin: 1, PMax: 100, SMin: 0, SMax: 50, Correlation: 0.5}
+	a, err := Instance(cfg, 7)
+	if err != nil {
+		t.Fatalf("Instance: %v", err)
+	}
+	b, _ := Instance(cfg, 7)
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("same seed, different task %d", i)
+		}
+	}
+	c, _ := Instance(cfg, 8)
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i] != c.Tasks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestInstanceRespectsRanges(t *testing.T) {
+	cfg := Config{N: 300, M: 4, PMin: 5, PMax: 10, SMin: 2, SMax: 8, Correlation: 0.8, BimodalFraction: 0.2}
+	in, err := Instance(cfg, 3)
+	if err != nil {
+		t.Fatalf("Instance: %v", err)
+	}
+	for _, task := range in.Tasks {
+		if task.P < 5 || task.P > 10 {
+			t.Fatalf("p = %d outside [5,10]", task.P)
+		}
+		if task.S < 2 || task.S > 8 {
+			t.Fatalf("s = %d outside [2,8]", task.S)
+		}
+	}
+}
+
+func TestCorrelationSign(t *testing.T) {
+	// Empirical Pearson correlation should be clearly positive for
+	// Correlated and clearly negative for Anticorrelated.
+	pos := Correlated(2000, 4, 11)
+	neg := Anticorrelated(2000, 4, 11)
+	if r := pearson(pos); r < 0.5 {
+		t.Errorf("correlated family: r = %.3f, want > 0.5", r)
+	}
+	if r := pearson(neg); r > -0.5 {
+		t.Errorf("anticorrelated family: r = %.3f, want < -0.5", r)
+	}
+}
+
+func pearson(in interface {
+	P() []int64
+	S() []int64
+}) float64 {
+	p := in.P()
+	s := in.S()
+	n := float64(len(p))
+	var mp, ms float64
+	for i := range p {
+		mp += float64(p[i])
+		ms += float64(s[i])
+	}
+	mp /= n
+	ms /= n
+	var cov, vp, vs float64
+	for i := range p {
+		dp := float64(p[i]) - mp
+		ds := float64(s[i]) - ms
+		cov += dp * ds
+		vp += dp * dp
+		vs += ds * ds
+	}
+	if vp == 0 || vs == 0 {
+		return 0
+	}
+	return cov / (sqrt(vp) * sqrt(vs))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestAdversarialCross(t *testing.T) {
+	in := AdversarialCross(4, 1000)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if in.N() != 8 || in.M != 4 {
+		t.Fatalf("shape n=%d m=%d, want 8/4", in.N(), in.M)
+	}
+	// First group is time-heavy/memory-light, second the mirror.
+	if in.Tasks[0].P != 1000-8 || in.Tasks[0].S != 1 {
+		t.Errorf("task 0 = %+v", in.Tasks[0])
+	}
+	if in.Tasks[4].P != 1 || in.Tasks[4].S != 1000-8 {
+		t.Errorf("task 4 = %+v", in.Tasks[4])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("K <= 4m accepted")
+		}
+	}()
+	AdversarialCross(4, 16)
+}
+
+func TestFamiliesProduceValidInstances(t *testing.T) {
+	for _, fam := range Families() {
+		in := fam.Gen(40, 4, 5)
+		if err := in.Validate(); err != nil {
+			t.Errorf("family %s: %v", fam.Name, err)
+		}
+		if in.N() != 40 || in.M != 4 {
+			t.Errorf("family %s: wrong shape n=%d m=%d", fam.Name, in.N(), in.M)
+		}
+	}
+}
+
+func checkDAG(t *testing.T, name string, g *dag.Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: invalid DAG: %v", name, err)
+	}
+}
+
+func TestLayeredDAGShape(t *testing.T) {
+	g := LayeredDAG(4, 5, 3, 2)
+	checkDAG(t, "layered", g)
+	if g.N() != 15 {
+		t.Errorf("n = %d, want 15", g.N())
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 5 {
+		t.Errorf("levels = %d, want 5", len(levels))
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin(4, 3, 4, 2)
+	checkDAG(t, "forkjoin", g)
+	if g.N() != 3*(4+1)+1 {
+		t.Errorf("n = %d, want %d", g.N(), 3*5+1)
+	}
+	// Exactly one source (initial fork) and one sink (last join).
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Errorf("sources/sinks = %d/%d, want 1/1", len(g.Sources()), len(g.Sinks()))
+	}
+}
+
+func TestTreeShapes(t *testing.T) {
+	out := OutTree(2, 13, 3, 1)
+	checkDAG(t, "outtree", out)
+	if len(out.Sources()) != 1 {
+		t.Errorf("out-tree sources = %d, want 1", len(out.Sources()))
+	}
+	in := InTree(2, 13, 3, 1)
+	checkDAG(t, "intree", in)
+	if len(in.Sinks()) != 1 {
+		t.Errorf("in-tree sinks = %d, want 1", len(in.Sinks()))
+	}
+	// Every non-root node of the out-tree has exactly one pred.
+	for v := 1; v < out.N(); v++ {
+		if len(out.Preds(v)) != 1 {
+			t.Errorf("out-tree node %d has %d preds", v, len(out.Preds(v)))
+		}
+	}
+}
+
+func TestDiamondShape(t *testing.T) {
+	g := Diamond(2, 4, 1)
+	checkDAG(t, "diamond", g)
+	if g.N() != 16 {
+		t.Errorf("n = %d, want 16", g.N())
+	}
+	// Corner-to-corner critical path visits 2*size-1 nodes.
+	levels, _ := g.Levels()
+	if len(levels) != 7 {
+		t.Errorf("levels = %d, want 7", len(levels))
+	}
+}
+
+func TestFFTShape(t *testing.T) {
+	g := FFT(4, 3, 1)
+	checkDAG(t, "fft", g)
+	if g.N() != 4*8 {
+		t.Errorf("n = %d, want 32", g.N())
+	}
+	// All rank-0 nodes are sources; all last-rank nodes are sinks.
+	if len(g.Sources()) != 8 || len(g.Sinks()) != 8 {
+		t.Errorf("sources/sinks = %d/%d, want 8/8", len(g.Sources()), len(g.Sinks()))
+	}
+	// Interior nodes have exactly 2 preds (butterfly).
+	for v := 8; v < g.N(); v++ {
+		if len(g.Preds(v)) != 2 {
+			t.Errorf("node %d has %d preds, want 2", v, len(g.Preds(v)))
+		}
+	}
+}
+
+func TestGaussianEliminationShape(t *testing.T) {
+	g := GaussianElimination(2, 4, 1)
+	checkDAG(t, "gauss", g)
+	// k=4: steps j=0..2 with k-j tasks: 4+3+2 = 9 tasks.
+	if g.N() != 9 {
+		t.Errorf("n = %d, want 9", g.N())
+	}
+}
+
+func TestSeriesParallelShape(t *testing.T) {
+	g := SeriesParallel(2, 5, 3)
+	checkDAG(t, "sp", g)
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Errorf("sources/sinks = %d/%d, want 1/1", len(g.Sources()), len(g.Sinks()))
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	g := Chain(4, 6, 1)
+	checkDAG(t, "chain", g)
+	cp, _ := g.CriticalPath()
+	if cp != g.TotalWork() {
+		t.Errorf("chain critical path %d != total work %d", cp, g.TotalWork())
+	}
+}
+
+func TestDAGFamiliesValidAndRoughlySized(t *testing.T) {
+	for _, fam := range DAGFamilies() {
+		g := fam.Gen(4, 40, 9)
+		checkDAG(t, fam.Name, g)
+		if g.N() < 10 || g.N() > 160 {
+			t.Errorf("family %s: n = %d, wildly off target 40", fam.Name, g.N())
+		}
+		if g.M != 4 {
+			t.Errorf("family %s: m = %d, want 4", fam.Name, g.M)
+		}
+	}
+}
+
+func TestPropertyGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, fam := range Families() {
+			if fam.Gen(20, 3, seed).Validate() != nil {
+				return false
+			}
+		}
+		for _, fam := range DAGFamilies() {
+			if fam.Gen(3, 25, seed).Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"layered":  func() { LayeredDAG(1, 0, 1, 1) },
+		"erdos":    func() { ErdosRenyiDAG(1, 0, 0.5, 1) },
+		"forkjoin": func() { ForkJoin(1, 0, 1, 1) },
+		"outtree":  func() { OutTree(1, 0, 1, 1) },
+		"intree":   func() { InTree(1, 0, 1, 1) },
+		"diamond":  func() { Diamond(1, 0, 1) },
+		"fft":      func() { FFT(1, 0, 1) },
+		"gauss":    func() { GaussianElimination(1, 1, 1) },
+		"sp":       func() { SeriesParallel(1, -1, 1) },
+		"chain":    func() { Chain(1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,233 @@
+// Package hardness constructs the Section 4 lower-bound instances of
+// the paper and their closed-form Pareto fronts, plus the Figure 3
+// impossibility frontier. Each instance family uses an infinitesimal
+// ε, represented here by one integer unit against a large Scale, so
+// that all arithmetic stays exact.
+package hardness
+
+import (
+	"fmt"
+	"math"
+
+	"storagesched/internal/model"
+)
+
+// DefaultScale plays the role of "1" in the ε-instances; ε is the
+// integer 1, so ε/1 = 2^-20 ≈ 10^-6.
+const DefaultScale = int64(1) << 20
+
+// Lemma1Instance is the Section 4.1 instance on 2 processors:
+// p = (1, 1/2, 1/2), s = (ε, 1, 1). Scale must be even.
+func Lemma1Instance(scale int64) *model.Instance {
+	if scale < 2 || scale%2 != 0 {
+		panic(fmt.Sprintf("hardness: Lemma 1 scale must be even and >= 2, got %d", scale))
+	}
+	return model.NewInstance(2,
+		[]model.Time{scale, scale / 2, scale / 2},
+		[]model.Mem{1, scale, scale})
+}
+
+// Lemma1Front returns the closed-form Pareto front of Lemma1Instance:
+// the two schedules of Figure 1, (1, 2) and (3/2, 1+ε), in scaled
+// integer coordinates. (The third schedule, (2, 2+ε), is dominated.)
+func Lemma1Front(scale int64) []model.Value {
+	return []model.Value{
+		{Cmax: scale, Mmax: 2 * scale},
+		{Cmax: 3 * scale / 2, Mmax: scale + 1},
+	}
+}
+
+// Lemma2Instance is the Section 4.2 family on m processors with
+// km + m − 1 tasks: the first m−1 tasks have p = 1, s = ε; the other
+// km tasks have p = 1/km, s = 1. Scale must be a multiple of k·m.
+func Lemma2Instance(m, k int, scale int64) *model.Instance {
+	if m < 2 || k < 2 {
+		panic(fmt.Sprintf("hardness: Lemma 2 needs m, k >= 2, got m=%d k=%d", m, k))
+	}
+	km := int64(k) * int64(m)
+	if scale < km || scale%km != 0 {
+		panic(fmt.Sprintf("hardness: Lemma 2 scale must be a positive multiple of k*m = %d, got %d", km, scale))
+	}
+	n := k*m + m - 1
+	p := make([]model.Time, n)
+	s := make([]model.Mem, n)
+	for i := 0; i < m-1; i++ {
+		p[i] = scale
+		s[i] = 1 // ε
+	}
+	for i := m - 1; i < n; i++ {
+		p[i] = scale / km
+		s[i] = scale
+	}
+	return model.NewInstance(m, p, s)
+}
+
+// Lemma2Front returns the k+1 Pareto-optimal values of Lemma2Instance
+// in scaled integers: solution i (0 ≤ i ≤ k) has makespan
+// scale·(1 + i/(km)) and memory scale·(k + (k−i)(m−1)) for i < k,
+// memory scale·k + 1 for i = k.
+func Lemma2Front(m, k int, scale int64) []model.Value {
+	km := int64(k) * int64(m)
+	out := make([]model.Value, 0, k+1)
+	for i := 0; i <= k; i++ {
+		c := scale + int64(i)*(scale/km)
+		var mem model.Mem
+		if i < k {
+			mem = scale * (int64(k) + int64(k-i)*int64(m-1))
+		} else {
+			mem = scale*int64(k) + 1
+		}
+		out = append(out, model.Value{Cmax: c, Mmax: mem})
+	}
+	return out
+}
+
+// Lemma3Instance is the Section 4.3 instance on 2 processors:
+// p = (1, ε, 1−ε), s = (ε, 1, 1−ε). The same ε = eps/scale is used in
+// both vectors; eps must satisfy 0 < eps < scale/2 for all three
+// schedules to be Pareto optimal (the paper's remark).
+func Lemma3Instance(scale, eps int64) *model.Instance {
+	if eps <= 0 || 2*eps >= scale {
+		panic(fmt.Sprintf("hardness: Lemma 3 needs 0 < eps < scale/2, got eps=%d scale=%d", eps, scale))
+	}
+	return model.NewInstance(2,
+		[]model.Time{scale, eps, scale - eps},
+		[]model.Mem{eps, scale, scale - eps})
+}
+
+// Lemma3Front returns the three Pareto-optimal values of
+// Lemma3Instance: (1, 2−ε), (1+ε, 1+ε) and (2−ε, 1) scaled.
+func Lemma3Front(scale, eps int64) []model.Value {
+	return []model.Value{
+		{Cmax: scale, Mmax: 2*scale - eps},
+		{Cmax: scale + eps, Mmax: scale + eps},
+		{Cmax: 2*scale - eps, Mmax: scale},
+	}
+}
+
+// RatioPoint is a point in approximation-ratio space (ρ_Cmax, ρ_Mmax),
+// the coordinate system of Figure 3.
+type RatioPoint struct {
+	Rc float64 // ratio on Cmax
+	Rm float64 // ratio on Mmax
+}
+
+// Lemma2FrontierPoints returns the impossibility corner points of
+// Lemma 2 for a given m, for all k in [2, kMax] and i in [0, k]:
+// (1 + i/(km), 1 + (m−1)(1−i/k)). No algorithm can guarantee strictly
+// better than any of these pairs on both coordinates.
+func Lemma2FrontierPoints(m, kMax int) []RatioPoint {
+	var pts []RatioPoint
+	for k := 2; k <= kMax; k++ {
+		for i := 0; i <= k; i++ {
+			pts = append(pts, RatioPoint{
+				Rc: 1 + float64(i)/float64(k*m),
+				Rm: 1 + float64(m-1)*(1-float64(i)/float64(k)),
+			})
+		}
+	}
+	return pts
+}
+
+// FrontierEnvelope returns the continuous (k → ∞) frontier of Lemma 2
+// for one m, sampled at `steps+1` points: the segment from (1, m) to
+// (1 + 1/m, 1). Every rectangle [1, Rc) × [1, Rm) below it is
+// impossible.
+func FrontierEnvelope(m, steps int) []RatioPoint {
+	pts := make([]RatioPoint, 0, steps+1)
+	for t := 0; t <= steps; t++ {
+		x := float64(t) / float64(steps) // i/k ∈ [0, 1]
+		pts = append(pts, RatioPoint{
+			Rc: 1 + x/float64(m),
+			Rm: 1 + float64(m-1)*(1-x),
+		})
+	}
+	return pts
+}
+
+// SwapRatio mirrors a ratio point across the diagonal — the symmetric
+// results obtained "by swapping memory consumption and processing
+// times" (end of Section 4.2).
+func SwapRatio(p RatioPoint) RatioPoint { return RatioPoint{Rc: p.Rm, Rm: p.Rc} }
+
+// Lemma3Point is the (3/2, 3/2) impossibility of Lemma 3 (m = 2).
+func Lemma3Point() RatioPoint { return RatioPoint{Rc: 1.5, Rm: 1.5} }
+
+// lemma2RatioFront returns the ratio-space Pareto front of the
+// Lemma 2 instance for one (m, k) in the ε → 0 limit: corners
+// (1 + i/(km), 1 + (m−1)(1−i/k)), i = 0..k.
+func lemma2RatioFront(m, k int) []RatioPoint {
+	front := make([]RatioPoint, 0, k+1)
+	for i := 0; i <= k; i++ {
+		front = append(front, RatioPoint{
+			Rc: 1 + float64(i)/float64(k*m),
+			Rm: 1 + float64(m-1)*(1-float64(i)/float64(k)),
+		})
+	}
+	return front
+}
+
+// lemma3RatioFront is the Lemma 3 front in the ε → 1/2 limit:
+// (1, 3/2), (3/2, 3/2), (3/2, 1).
+func lemma3RatioFront() []RatioPoint {
+	return []RatioPoint{{Rc: 1, Rm: 1.5}, {Rc: 1.5, Rm: 1.5}, {Rc: 1.5, Rm: 1}}
+}
+
+// impossibleForFront reports whether the guarantee pair p is ruled out
+// by an instance whose ratio-space Pareto front is given: an algorithm
+// with guarantee p must output, on that instance, a schedule with
+// ratios componentwise ≤ p, which exists iff p weakly dominates some
+// front point. (Points strictly inside every front corner — "better
+// than" in the paper's wording — are therefore impossible.)
+func impossibleForFront(p RatioPoint, front []RatioPoint) bool {
+	for _, r := range front {
+		if p.Rc >= r.Rc && p.Rm >= r.Rm {
+			return false
+		}
+	}
+	return true
+}
+
+func swapFront(front []RatioPoint) []RatioPoint {
+	out := make([]RatioPoint, len(front))
+	for i, r := range front {
+		out[i] = SwapRatio(r)
+	}
+	return out
+}
+
+// Impossible reports whether a guarantee pair (Rc, Rm) is ruled out by
+// the Section 4 instance families on m processors: the Lemma 2 family
+// for every k ≤ kMax (in both orientations) and, when m = 2, the
+// Lemma 3 instance. Lemma 1 is the k-free endpoint of Lemma 2 and
+// needs no separate handling.
+func Impossible(p RatioPoint, m, kMax int) bool {
+	if m == 2 && impossibleForFront(p, lemma3RatioFront()) {
+		return true
+	}
+	for k := 2; k <= kMax; k++ {
+		front := lemma2RatioFront(m, k)
+		if impossibleForFront(p, front) || impossibleForFront(p, swapFront(front)) {
+			return true
+		}
+	}
+	return false
+}
+
+// SBOCurve samples the achievable tradeoff curve of Section 3 that
+// Figure 3 draws dashed: (1 + ∆ + ε, 1 + 1/∆ + ε) with the PTAS
+// sub-algorithm; the ε-free limit (1 + ∆, 1 + 1/∆) is returned.
+// Deltas are sampled geometrically over [deltaMin, deltaMax].
+func SBOCurve(deltaMin, deltaMax float64, steps int) []RatioPoint {
+	if deltaMin <= 0 || deltaMax < deltaMin || steps < 1 {
+		panic(fmt.Sprintf("hardness: bad SBO curve range [%g, %g] x %d", deltaMin, deltaMax, steps))
+	}
+	pts := make([]RatioPoint, 0, steps+1)
+	ratio := math.Pow(deltaMax/deltaMin, 1/float64(steps))
+	d := deltaMin
+	for t := 0; t <= steps; t++ {
+		pts = append(pts, RatioPoint{Rc: 1 + d, Rm: 1 + 1/d})
+		d *= ratio
+	}
+	return pts
+}

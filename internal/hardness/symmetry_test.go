@@ -1,0 +1,78 @@
+package hardness
+
+import (
+	"testing"
+
+	"storagesched/internal/model"
+	"storagesched/internal/pareto"
+)
+
+// Section 2.1: on independent tasks Cmax and Mmax are strictly
+// symmetric. Swapping p and s in any hardness instance must mirror its
+// Pareto front across the diagonal.
+
+func swapValues(vs []model.Value) []model.Value {
+	out := make([]model.Value, len(vs))
+	for i, v := range vs {
+		out[i] = model.Value{Cmax: model.Time(v.Mmax), Mmax: model.Mem(v.Cmax)}
+	}
+	// Mirrored front sorts in the opposite direction; re-sort.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Cmax < out[i].Cmax {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func TestLemma1FrontSymmetric(t *testing.T) {
+	scale := int64(64)
+	in := Lemma1Instance(scale)
+	front, err := pareto.Front(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swFront, err := pareto.Front(in.Swapped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pareto.SameFront(swapValues(pareto.Values(front)), pareto.Values(swFront)) {
+		t.Errorf("swapped front %v does not mirror %v",
+			pareto.Values(swFront), pareto.Values(front))
+	}
+}
+
+func TestLemma3FrontSymmetric(t *testing.T) {
+	// The Lemma 3 instance is its own mirror up to task reordering
+	// (p and s vectors are permutations of each other), so its front
+	// must be symmetric about the diagonal.
+	scale, eps := int64(64), int64(8)
+	in := Lemma3Instance(scale, eps)
+	front, err := pareto.Front(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := pareto.Values(front)
+	if !pareto.SameFront(swapValues(vals), vals) {
+		t.Errorf("Lemma 3 front %v not diagonal-symmetric", vals)
+	}
+}
+
+func TestLemma2FrontSymmetric(t *testing.T) {
+	m, k := 2, 3
+	scale := int64(m*k) * 16
+	in := Lemma2Instance(m, k, scale)
+	front, err := pareto.Front(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swFront, err := pareto.Front(in.Swapped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pareto.SameFront(swapValues(pareto.Values(front)), pareto.Values(swFront)) {
+		t.Errorf("swapped Lemma 2 front mismatch")
+	}
+}

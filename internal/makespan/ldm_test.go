@@ -1,0 +1,106 @@
+package makespan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLDMClassicPartition(t *testing.T) {
+	// The textbook differencing example {8,7,6,5,4} on 2 machines:
+	// the optimum is 15 ({8,7} vs {6,5,4}), KK differencing reaches
+	// 16, plain LPT reaches 17 — KK strictly between LPT and OPT.
+	sizes := []Size{8, 7, 6, 5, 4}
+	a := LDM{}.Assign(sizes, 2)
+	checkValidAssignment(t, "LDM", sizes, 2, a)
+	if got := Cmax(sizes, 2, a); got != 16 {
+		t.Errorf("LDM Cmax = %d, want 16", got)
+	}
+	if got := Cmax(sizes, 2, LPT{}.Assign(sizes, 2)); got != 17 {
+		t.Errorf("LPT Cmax = %d, want 17 (sanity)", got)
+	}
+	opt, _ := ExactDP{}.Solve(sizes, 2)
+	if opt != 15 {
+		t.Errorf("optimum = %d, want 15", opt)
+	}
+}
+
+func TestLDMThreeMachines(t *testing.T) {
+	sizes := []Size{5, 5, 4, 4, 3, 3, 3, 3}
+	a := LDM{}.Assign(sizes, 3)
+	checkValidAssignment(t, "LDM", sizes, 3, a)
+	// Total 30, optimum 10. Multiway differencing lands on 11 here
+	// (a known limitation of the m-way generalisation); pin it as a
+	// regression value and check it stays within the LPT-style bound.
+	opt, _ := ExactDP{}.Solve(sizes, 3)
+	if opt != 10 {
+		t.Fatalf("optimum = %d, want 10", opt)
+	}
+	got := Cmax(sizes, 3, a)
+	if got != 11 {
+		t.Errorf("LDM Cmax = %d, want the pinned 11", got)
+	}
+	if float64(got) > (4.0/3.0-1.0/9.0)*float64(opt)+1e-9 {
+		t.Errorf("LDM exceeded its reported ratio")
+	}
+}
+
+func TestLDMEdgeCases(t *testing.T) {
+	if a := (LDM{}).Assign(nil, 3); len(a) != 0 {
+		t.Error("empty input mishandled")
+	}
+	a := LDM{}.Assign([]Size{7, 3}, 1)
+	checkValidAssignment(t, "LDM", []Size{7, 3}, 1, a)
+	if got := Cmax([]Size{7, 3}, 1, a); got != 10 {
+		t.Errorf("single machine Cmax = %d", got)
+	}
+	// More machines than tasks.
+	a = LDM{}.Assign([]Size{5}, 4)
+	checkValidAssignment(t, "LDM", []Size{5}, 4, a)
+	if got := Cmax([]Size{5}, 4, a); got != 5 {
+		t.Errorf("Cmax = %d, want 5", got)
+	}
+}
+
+func TestPropertyLDMValidAndWithinLPTBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := randomSizes(rng, 11, 60)
+		m := 1 + rng.Intn(4)
+		a := LDM{}.Assign(sizes, m)
+		if len(a) != len(sizes) {
+			return false
+		}
+		for _, q := range a {
+			if q < 0 || q >= m {
+				return false
+			}
+		}
+		opt, _ := ExactDP{}.Solve(sizes, m)
+		got := Cmax(sizes, m, a)
+		// Empirical envelope: within the LPT guarantee of the
+		// optimum (the differencing method never does worse in
+		// practice; no tighter constant is proven for general m).
+		return got >= opt && float64(got) <= (4.0/3.0)*float64(opt)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLDMOftenBeatsLPTOnBalancedInstances(t *testing.T) {
+	// Statistical claim: over many balanced random instances, LDM's
+	// total regret (vs LB) is no more than LPT's.
+	rng := rand.New(rand.NewSource(7))
+	var ldmTotal, lptTotal int64
+	for trial := 0; trial < 100; trial++ {
+		sizes := randomSizes(rng, 24, 1000)
+		m := 2 + rng.Intn(3)
+		lb := LowerBound(sizes, m)
+		ldmTotal += int64(Cmax(sizes, m, LDM{}.Assign(sizes, m)) - lb)
+		lptTotal += int64(Cmax(sizes, m, LPT{}.Assign(sizes, m)) - lb)
+	}
+	if ldmTotal > lptTotal {
+		t.Errorf("LDM aggregate regret %d > LPT %d", ldmTotal, lptTotal)
+	}
+}

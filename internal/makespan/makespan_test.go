@@ -1,0 +1,338 @@
+package makespan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSizes(rng *rand.Rand, maxN int, maxV int64) []Size {
+	n := 1 + rng.Intn(maxN)
+	xs := make([]Size, n)
+	for i := range xs {
+		xs[i] = Size(rng.Int63n(maxV)) + 1
+	}
+	return xs
+}
+
+func checkValidAssignment(t *testing.T, name string, sizes []Size, m int, a Assignment) {
+	t.Helper()
+	if len(a) != len(sizes) {
+		t.Fatalf("%s: assignment length %d, want %d", name, len(a), len(sizes))
+	}
+	for i, q := range a {
+		if q < 0 || q >= m {
+			t.Fatalf("%s: task %d on processor %d, want [0,%d)", name, i, q, m)
+		}
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	if got := LowerBound([]Size{10, 1, 1}, 4); got != 10 {
+		t.Errorf("LowerBound = %d, want 10", got)
+	}
+	if got := LowerBound([]Size{3, 3, 1}, 2); got != 4 {
+		t.Errorf("LowerBound = %d, want 4", got)
+	}
+}
+
+func TestListSchedulingSmall(t *testing.T) {
+	// Sizes 3,3,2,2,2 on 2 machines in order: loads 3/3, then 5/5/7?
+	// LS: t0->q0(3), t1->q1(3), t2->q0(5), t3->q1(5), t4->q0(7).
+	a := ListScheduling{}.Assign([]Size{3, 3, 2, 2, 2}, 2)
+	if got := Cmax([]Size{3, 3, 2, 2, 2}, 2, a); got != 7 {
+		t.Errorf("LS Cmax = %d, want 7", got)
+	}
+}
+
+func TestLPTWorstCaseInstance(t *testing.T) {
+	// {3,3,2,2,2} on 2 machines is the classic LPT worst case:
+	// LPT gives 7 while the optimum is 6 (ratio exactly 7/6 =
+	// 4/3 − 1/(3·2)). Pin both values.
+	sizes := []Size{2, 2, 2, 3, 3}
+	lpt := LPT{}.Assign(sizes, 2)
+	if got := Cmax(sizes, 2, lpt); got != 7 {
+		t.Errorf("LPT Cmax = %d, want 7", got)
+	}
+	opt, _ := ExactDP{}.Solve(sizes, 2)
+	if opt != 6 {
+		t.Errorf("optimum = %d, want 6", opt)
+	}
+}
+
+func TestExactDPKnownOptimum(t *testing.T) {
+	// Partition {7,5,4,3,1} on 2 machines: total 20, optimum 10.
+	opt, a := ExactDP{}.Solve([]Size{7, 5, 4, 3, 1}, 2)
+	if opt != 10 {
+		t.Errorf("ExactDP opt = %d, want 10", opt)
+	}
+	if got := Cmax([]Size{7, 5, 4, 3, 1}, 2, a); got != 10 {
+		t.Errorf("reconstructed assignment Cmax = %d, want 10", got)
+	}
+}
+
+func TestExactDPSingleMachine(t *testing.T) {
+	opt, a := ExactDP{}.Solve([]Size{4, 4, 4}, 1)
+	if opt != 12 {
+		t.Errorf("opt = %d, want 12", opt)
+	}
+	checkValidAssignment(t, "ExactDP", []Size{4, 4, 4}, 1, a)
+}
+
+func TestExactDPEmptyAndZeroSizes(t *testing.T) {
+	opt, a := ExactDP{}.Solve(nil, 3)
+	if opt != 0 || len(a) != 0 {
+		t.Errorf("empty: opt=%d len=%d", opt, len(a))
+	}
+	opt, a = ExactDP{}.Solve([]Size{0, 0, 5}, 2)
+	if opt != 5 {
+		t.Errorf("opt = %d, want 5", opt)
+	}
+	checkValidAssignment(t, "ExactDP", []Size{0, 0, 5}, 2, a)
+}
+
+func TestBranchAndBoundMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		sizes := randomSizes(rng, 12, 50)
+		m := 1 + rng.Intn(4)
+		optDP, _ := ExactDP{}.Solve(sizes, m)
+		optBB, aBB := BranchAndBound{}.Solve(sizes, m)
+		if optDP != optBB {
+			t.Fatalf("trial %d: DP opt %d != BnB opt %d (sizes=%v m=%d)", trial, optDP, optBB, sizes, m)
+		}
+		if got := Cmax(sizes, m, aBB); got != optBB {
+			t.Fatalf("BnB assignment value %d != reported %d", got, optBB)
+		}
+	}
+}
+
+func TestBranchAndBoundNodeCapStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sizes := randomSizes(rng, 25, 1000)
+	m := 4
+	val, a := BranchAndBound{MaxNodes: 50}.Solve(sizes, m)
+	checkValidAssignment(t, "BnB-capped", sizes, m, a)
+	if got := Cmax(sizes, m, a); got != val {
+		t.Errorf("capped BnB value mismatch: %d != %d", got, val)
+	}
+	if val < LowerBound(sizes, m) {
+		t.Errorf("value below lower bound")
+	}
+}
+
+func TestMultifitSmall(t *testing.T) {
+	sizes := []Size{7, 5, 4, 3, 1}
+	a := Multifit{}.Assign(sizes, 2)
+	checkValidAssignment(t, "Multifit", sizes, 2, a)
+	if got := Cmax(sizes, 2, a); got != 10 {
+		t.Errorf("Multifit Cmax = %d, want 10", got)
+	}
+}
+
+func TestPTASFindsNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		sizes := randomSizes(rng, 10, 100)
+		m := 1 + rng.Intn(3)
+		opt, _ := ExactDP{}.Solve(sizes, m)
+		for _, eps := range []float64{0.5, 0.25} {
+			a := PTAS{Epsilon: eps}.Assign(sizes, m)
+			checkValidAssignment(t, "PTAS", sizes, m, a)
+			got := Cmax(sizes, m, a)
+			if float64(got) > (1+eps)*float64(opt)+1e-9 {
+				t.Errorf("trial %d eps=%g: PTAS Cmax %d > (1+eps)*opt (opt=%d, sizes=%v, m=%d)",
+					trial, eps, got, opt, sizes, m)
+			}
+		}
+	}
+}
+
+func TestPTASAllZeroSizes(t *testing.T) {
+	a := PTAS{Epsilon: 0.3}.Assign([]Size{0, 0, 0}, 2)
+	checkValidAssignment(t, "PTAS", []Size{0, 0, 0}, 2, a)
+}
+
+func TestPTASPanicsOnBadEpsilon(t *testing.T) {
+	for _, eps := range []float64{0, -1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%g: expected panic", eps)
+				}
+			}()
+			PTAS{Epsilon: eps}.Assign([]Size{1}, 1)
+		}()
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("m=0 accepted")
+			}
+		}()
+		ListScheduling{}.Assign([]Size{1}, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative size accepted")
+			}
+		}()
+		LPT{}.Assign([]Size{-1}, 1)
+	}()
+}
+
+func TestRegistryNamesAndRatios(t *testing.T) {
+	algos := Registry()
+	if len(algos) != 5 {
+		t.Fatalf("registry has %d algorithms, want 5", len(algos))
+	}
+	seen := map[string]bool{}
+	for _, alg := range algos {
+		if alg.Name() == "" {
+			t.Error("empty algorithm name")
+		}
+		if seen[alg.Name()] {
+			t.Errorf("duplicate name %q", alg.Name())
+		}
+		seen[alg.Name()] = true
+		for _, m := range []int{1, 2, 8} {
+			if r := alg.Ratio(m); r < 1 {
+				t.Errorf("%s: ratio %g < 1 for m=%d", alg.Name(), r, m)
+			}
+		}
+	}
+}
+
+// --- property tests -------------------------------------------------
+
+func TestPropertyGreedyWithinGrahamBound(t *testing.T) {
+	// LS makespan ≤ Σ/m + (1−1/m)·max ≤ (2−1/m)·LB: testable without
+	// knowing the optimum because LB ≤ OPT.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := randomSizes(rng, 60, 1000)
+		m := 1 + rng.Intn(8)
+		a := ListScheduling{}.Assign(sizes, m)
+		var sum, mx Size
+		for _, x := range sizes {
+			sum += x
+			if x > mx {
+				mx = x
+			}
+		}
+		got := Cmax(sizes, m, a)
+		bound := float64(sum)/float64(m) + (1-1/float64(m))*float64(mx)
+		return float64(got) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLPTWithinBoundOfExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := randomSizes(rng, 11, 60)
+		m := 1 + rng.Intn(4)
+		opt, _ := ExactDP{}.Solve(sizes, m)
+		got := Cmax(sizes, m, LPT{}.Assign(sizes, m))
+		bound := (4.0/3.0 - 1.0/(3.0*float64(m))) * float64(opt)
+		return got >= opt && float64(got) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMultifitNeverWorseThanFFDBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := randomSizes(rng, 11, 60)
+		m := 1 + rng.Intn(4)
+		opt, _ := ExactDP{}.Solve(sizes, m)
+		got := Cmax(sizes, m, Multifit{}.Assign(sizes, m))
+		// 13/11 is asymptotic; 1.22 covers all instances (CGJ 1978
+		// proved 1.22 for k iterations).
+		return got >= opt && float64(got) <= 1.22*float64(opt)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExactDPIsOptimal(t *testing.T) {
+	// DP result is feasible and no random assignment beats it.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := randomSizes(rng, 9, 40)
+		m := 1 + rng.Intn(3)
+		opt, a := ExactDP{}.Solve(sizes, m)
+		if Cmax(sizes, m, a) != opt {
+			return false
+		}
+		if opt < LowerBound(sizes, m) {
+			return false
+		}
+		trial := make(Assignment, len(sizes))
+		for t := 0; t < 50; t++ {
+			for i := range trial {
+				trial[i] = rng.Intn(m)
+			}
+			if Cmax(sizes, m, trial) < opt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAllAlgorithmsProduceValidAssignments(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := randomSizes(rng, 40, 500)
+		m := 1 + rng.Intn(8)
+		for _, alg := range Registry() {
+			a := alg.Assign(sizes, m)
+			if len(a) != len(sizes) {
+				return false
+			}
+			for _, q := range a {
+				if q < 0 || q >= m {
+					return false
+				}
+			}
+			// Never below the lower bound.
+			if Cmax(sizes, m, a) < LowerBound(sizes, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPTASWithinEpsOfLowerBoundTimesTwo(t *testing.T) {
+	// Cheap large-n sanity: PTAS ≤ (1+ε)·2·LB always (dual search is
+	// within [LB, 2LB]).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := randomSizes(rng, 30, 200)
+		m := 1 + rng.Intn(4)
+		eps := 0.5
+		a := PTAS{Epsilon: eps}.Assign(sizes, m)
+		got := Cmax(sizes, m, a)
+		return float64(got) <= (1+eps)*2*float64(LowerBound(sizes, m))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

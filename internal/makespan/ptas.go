@@ -1,0 +1,293 @@
+package makespan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PTAS is the Hochbaum–Shmoys dual-approximation scheme for P||Cmax
+// (reference [9] of the paper), the sub-algorithm that turns SBO∆ into
+// the (1+∆+ε, 1+1/∆+ε) family of Corollary 1.
+//
+// For a candidate makespan T the dual procedure either proves that no
+// schedule of makespan ≤ T exists or produces one of makespan at most
+// (1+ε)T:
+//
+//  1. items larger than εT ("big") are rounded down to multiples of
+//     ε²T; a bin of capacity T holds at most 1/ε big items, so the
+//     rounding loses at most ε·T per bin;
+//  2. rounded big items are packed into a minimum number of bins of
+//     rounded capacity ⌊T/ε²T⌋ by exact dynamic programming over
+//     count vectors (polynomial for fixed ε since there are at most
+//     1/ε² distinct rounded sizes);
+//  3. small items are added greedily to the least-loaded bin; if the
+//     least-loaded bin already exceeds T the total volume exceeds mT
+//     and T is infeasible.
+//
+// A binary search over T ∈ [LB, 2·LB] then yields makespan at most
+// (1+ε)·OPT. The DP is exponential in 1/ε; intended use is ε ≥ 0.2 or
+// small instances, which is exactly how the paper's Corollary 1 is
+// exercised in the experiments.
+type PTAS struct {
+	// Epsilon is the accuracy parameter ε ∈ (0, 1). The constructor
+	// functions in package core validate it; Assign panics on
+	// out-of-range values.
+	Epsilon float64
+}
+
+// Name implements Algorithm.
+func (pt PTAS) Name() string { return fmt.Sprintf("PTAS(eps=%g)", pt.Epsilon) }
+
+// Ratio implements Algorithm: 1 + ε.
+func (pt PTAS) Ratio(m int) float64 { return 1 + pt.Epsilon }
+
+// Assign implements Algorithm.
+func (pt PTAS) Assign(sizes []Size, m int) Assignment {
+	validate(sizes, m)
+	if pt.Epsilon <= 0 || pt.Epsilon >= 1 {
+		panic(fmt.Sprintf("makespan: PTAS epsilon = %g, need 0 < eps < 1", pt.Epsilon))
+	}
+	lb := LowerBound(sizes, m)
+	if lb == 0 {
+		// All sizes are zero; any assignment is optimal.
+		return make(Assignment, len(sizes))
+	}
+	// Binary search the smallest T for which the dual step succeeds.
+	// T = 2·lb always succeeds (greedy list scheduling fits below
+	// 2·lb), so the interval is well formed.
+	lo, hi := lb, 2*lb
+	var best Assignment
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a := pt.dual(sizes, m, mid); a != nil {
+			best = a
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		best = pt.dual(sizes, m, hi)
+	}
+	if best == nil {
+		// Unreachable: T = 2·lb is always feasible for the dual step.
+		// Fall back to LPT rather than crash.
+		return LPT{}.Assign(sizes, m)
+	}
+	return best
+}
+
+// dual is the dual-approximation step: nil means "no schedule of
+// makespan ≤ T exists"; otherwise the returned assignment has makespan
+// at most (1+ε)T.
+func (pt PTAS) dual(sizes []Size, m int, T Size) Assignment {
+	eps := pt.Epsilon
+	bigThreshold := Size(eps * float64(T))
+	grid := Size(eps * eps * float64(T))
+	if grid < 1 {
+		grid = 1
+	}
+	var big, small []int
+	for i, x := range sizes {
+		if x > T {
+			return nil // an item exceeds the candidate makespan
+		}
+		if x > bigThreshold {
+			big = append(big, i)
+		} else {
+			small = append(small, i)
+		}
+	}
+	a := make(Assignment, len(sizes))
+	loads := make([]Size, m)
+
+	if len(big) > 0 {
+		ok := packBigItems(sizes, big, m, T, grid, a, loads)
+		if !ok {
+			return nil
+		}
+	}
+	// Greedy placement of small items onto the least-loaded bin.
+	// Sorting them descending keeps the result deterministic and
+	// slightly tighter; correctness needs no order.
+	sort.Slice(small, func(x, y int) bool {
+		if sizes[small[x]] != sizes[small[y]] {
+			return sizes[small[x]] > sizes[small[y]]
+		}
+		return small[x] < small[y]
+	})
+	for _, i := range small {
+		q := minLoadProc(loads)
+		if loads[q] > T {
+			// Every bin exceeds T, so total volume > mT: infeasible.
+			return nil
+		}
+		a[i] = q
+		loads[q] += sizes[i]
+	}
+	return a
+}
+
+// packBigItems packs the rounded big items into at most m bins of
+// rounded capacity ⌊T/grid⌋ (exact min-bins DP), writing the real
+// assignment into a and real loads into loads. It reports false when
+// more than m bins are required, which proves T infeasible because
+// rounding down can only make packing easier.
+func packBigItems(sizes []Size, big []int, m int, T, grid Size, a Assignment, loads []Size) bool {
+	capU := T / grid
+	// Bucket items by rounded value.
+	buckets := map[Size][]int{}
+	for _, i := range big {
+		r := sizes[i] / grid
+		buckets[r] = append(buckets[r], i)
+	}
+	vals := make([]Size, 0, len(buckets))
+	for v := range buckets {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(x, y int) bool { return vals[x] > vals[y] })
+	counts := make([]int, len(vals))
+	for k, v := range vals {
+		counts[k] = len(buckets[v])
+		// Items within a bucket are consumed largest-real-size first
+		// so reconstruction is deterministic.
+		sort.Slice(buckets[v], func(x, y int) bool {
+			if sizes[buckets[v][x]] != sizes[buckets[v][y]] {
+				return sizes[buckets[v][x]] > sizes[buckets[v][y]]
+			}
+			return buckets[v][x] < buckets[v][y]
+		})
+	}
+
+	dp := &binDP{vals: vals, capU: capU, memo: map[string]int{}}
+	need := dp.minBins(counts)
+	if need > m {
+		return false
+	}
+	// Reconstruct bin by bin: find a maximal configuration whose
+	// removal decreases minBins by exactly one.
+	remaining := append([]int(nil), counts...)
+	bin := 0
+	for !allZero(remaining) {
+		cfg := dp.extractConfig(remaining)
+		for k, c := range cfg {
+			for j := 0; j < c; j++ {
+				items := buckets[vals[k]]
+				i := items[len(items)-1]
+				buckets[vals[k]] = items[:len(items)-1]
+				a[i] = bin
+				loads[bin] += sizes[i]
+			}
+			remaining[k] -= c
+		}
+		bin++
+		if bin > m {
+			// Defensive: reconstruction must match minBins.
+			return false
+		}
+	}
+	return true
+}
+
+// binDP memoizes the minimum number of capU-bins needed for a count
+// vector of rounded values.
+type binDP struct {
+	vals []Size
+	capU Size
+	memo map[string]int
+}
+
+func encodeCounts(counts []int) string {
+	buf := make([]byte, 2*len(counts))
+	for i, c := range counts {
+		buf[2*i] = byte(c >> 8)
+		buf[2*i+1] = byte(c)
+	}
+	return string(buf)
+}
+
+func allZero(counts []int) bool {
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// minBins returns the minimum number of bins for the count vector.
+func (d *binDP) minBins(counts []int) int {
+	if allZero(counts) {
+		return 0
+	}
+	key := encodeCounts(counts)
+	if v, ok := d.memo[key]; ok {
+		return v
+	}
+	best := 1 << 30
+	d.forEachMaximalConfig(counts, func(cfg []int) {
+		rest := make([]int, len(counts))
+		for k := range counts {
+			rest[k] = counts[k] - cfg[k]
+		}
+		if b := d.minBins(rest) + 1; b < best {
+			best = b
+		}
+	})
+	d.memo[key] = best
+	return best
+}
+
+// extractConfig finds a maximal configuration of remaining whose
+// removal is consistent with an optimal packing and returns it.
+func (d *binDP) extractConfig(remaining []int) []int {
+	total := d.minBins(remaining)
+	var chosen []int
+	d.forEachMaximalConfig(remaining, func(cfg []int) {
+		if chosen != nil {
+			return
+		}
+		rest := make([]int, len(remaining))
+		for k := range remaining {
+			rest[k] = remaining[k] - cfg[k]
+		}
+		if d.minBins(rest) == total-1 {
+			chosen = append([]int(nil), cfg...)
+		}
+	})
+	return chosen
+}
+
+// forEachMaximalConfig enumerates the maximal feasible single-bin
+// configurations (vectors cfg ≤ counts with Σ cfg_k·vals_k ≤ capU such
+// that no further item fits). Restricting to maximal configurations
+// preserves the min-bins optimum.
+func (d *binDP) forEachMaximalConfig(counts []int, fn func([]int)) {
+	cfg := make([]int, len(counts))
+	var rec func(k int, space Size)
+	rec = func(k int, space Size) {
+		if k == len(counts) {
+			// Maximality: no remaining item of any value fits.
+			for j := range counts {
+				if cfg[j] < counts[j] && d.vals[j] <= space {
+					return
+				}
+			}
+			fn(cfg)
+			return
+		}
+		maxC := counts[k]
+		if d.vals[k] > 0 {
+			if byCap := int(space / d.vals[k]); byCap < maxC {
+				maxC = byCap
+			}
+		}
+		// Try larger counts first so reconstruction prefers full bins.
+		for c := maxC; c >= 0; c-- {
+			cfg[k] = c
+			rec(k+1, space-Size(c)*d.vals[k])
+		}
+		cfg[k] = 0
+	}
+	rec(0, d.capU)
+}

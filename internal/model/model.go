@@ -1,0 +1,274 @@
+// Package model defines the task, instance and schedule types shared by
+// every algorithm in this repository, together with objective evaluation
+// and schedule validation.
+//
+// The model follows Section 2.1 of Saule, Dutot and Mounié, "Scheduling
+// with Storage Constraints" (IPDPS 2008): a set T = {t1..tn} of tasks,
+// task i taking p_i time units and occupying s_i memory units, and a set
+// Q of m identical processors. A schedule assigns each task to exactly
+// one processor; with precedence constraints it additionally fixes a
+// start time per task such that a processor runs one task at a time and
+// a task starts only after all its predecessors completed.
+//
+// All quantities are integers, matching the paper's pseudo-code inputs
+// ("n integers"). Instances from the inapproximability sections use an
+// infinitesimal ε; those are represented with a large integer Scale and
+// ε = 1 unit (see package hardness).
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Time is a processing-time quantity (integer time units).
+type Time = int64
+
+// Mem is a storage quantity (integer memory units).
+type Mem = int64
+
+// Task is a single task: an identifier, a processing time and a storage
+// size. IDs are indices into the instance's task slice.
+type Task struct {
+	ID   int    `json:"id"`
+	P    Time   `json:"p"` // processing time p_i > 0
+	S    Mem    `json:"s"` // storage size s_i >= 0
+	Name string `json:"name,omitempty"`
+}
+
+// Instance is a set of independent tasks and a processor count.
+type Instance struct {
+	M     int    `json:"m"` // number of identical processors, m >= 1
+	Tasks []Task `json:"tasks"`
+}
+
+// NewInstance builds an instance from parallel p/s slices, assigning IDs
+// 0..n-1. It panics if the slices differ in length; use Validate for
+// data-dependent checks.
+func NewInstance(m int, p []Time, s []Mem) *Instance {
+	if len(p) != len(s) {
+		panic(fmt.Sprintf("model: len(p)=%d != len(s)=%d", len(p), len(s)))
+	}
+	tasks := make([]Task, len(p))
+	for i := range p {
+		tasks[i] = Task{ID: i, P: p[i], S: s[i]}
+	}
+	return &Instance{M: m, Tasks: tasks}
+}
+
+// N returns the number of tasks.
+func (in *Instance) N() int { return len(in.Tasks) }
+
+// P returns the processing-time vector (a fresh slice).
+func (in *Instance) P() []Time {
+	p := make([]Time, len(in.Tasks))
+	for i, t := range in.Tasks {
+		p[i] = t.P
+	}
+	return p
+}
+
+// S returns the storage-size vector (a fresh slice).
+func (in *Instance) S() []Mem {
+	s := make([]Mem, len(in.Tasks))
+	for i, t := range in.Tasks {
+		s[i] = t.S
+	}
+	return s
+}
+
+// TotalWork returns Σ p_i.
+func (in *Instance) TotalWork() Time {
+	var w Time
+	for _, t := range in.Tasks {
+		w += t.P
+	}
+	return w
+}
+
+// TotalMem returns Σ s_i.
+func (in *Instance) TotalMem() Mem {
+	var s Mem
+	for _, t := range in.Tasks {
+		s += t.S
+	}
+	return s
+}
+
+// MaxP returns max_i p_i (0 for an empty instance).
+func (in *Instance) MaxP() Time {
+	var mx Time
+	for _, t := range in.Tasks {
+		if t.P > mx {
+			mx = t.P
+		}
+	}
+	return mx
+}
+
+// MaxS returns max_i s_i (0 for an empty instance).
+func (in *Instance) MaxS() Mem {
+	var mx Mem
+	for _, t := range in.Tasks {
+		if t.S > mx {
+			mx = t.S
+		}
+	}
+	return mx
+}
+
+// Validate checks structural sanity: m >= 1, IDs are 0..n-1, p_i > 0 and
+// s_i >= 0 for every task.
+func (in *Instance) Validate() error {
+	if in.M < 1 {
+		return fmt.Errorf("model: m = %d, need m >= 1", in.M)
+	}
+	for i, t := range in.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("model: task %d has ID %d, want %d", i, t.ID, i)
+		}
+		if t.P <= 0 {
+			return fmt.Errorf("model: task %d has p = %d, need p > 0", i, t.P)
+		}
+		if t.S < 0 {
+			return fmt.Errorf("model: task %d has s = %d, need s >= 0", i, t.S)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	tasks := make([]Task, len(in.Tasks))
+	copy(tasks, in.Tasks)
+	return &Instance{M: in.M, Tasks: tasks}
+}
+
+// Swapped returns the instance with the roles of p and s exchanged.
+// Section 2.1 notes the two objectives are strictly symmetric on
+// independent tasks; several tests exploit this.
+func (in *Instance) Swapped() *Instance {
+	tasks := make([]Task, len(in.Tasks))
+	for i, t := range in.Tasks {
+		tasks[i] = Task{ID: t.ID, P: Time(t.S), S: Mem(t.P), Name: t.Name}
+	}
+	return &Instance{M: in.M, Tasks: tasks}
+}
+
+// Assignment maps each task (by ID) to a processor in [0, m).
+// It is the "schedule π" of the independent-task sections, where task
+// order on a processor is irrelevant to all three objectives.
+type Assignment []int
+
+// Objectives of an assignment on an instance.
+
+// Loads returns the per-processor total processing time under a.
+func (in *Instance) Loads(a Assignment) []Time {
+	loads := make([]Time, in.M)
+	for i, t := range in.Tasks {
+		loads[a[i]] += t.P
+	}
+	return loads
+}
+
+// MemLoads returns the per-processor total storage under a.
+func (in *Instance) MemLoads(a Assignment) []Mem {
+	mem := make([]Mem, in.M)
+	for i, t := range in.Tasks {
+		mem[a[i]] += t.S
+	}
+	return mem
+}
+
+// Cmax returns the makespan of assignment a: the maximum per-processor
+// sum of processing times.
+func (in *Instance) Cmax(a Assignment) Time {
+	var mx Time
+	for _, l := range in.Loads(a) {
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// Mmax returns the maximum cumulative memory occupation of a processor
+// under assignment a.
+func (in *Instance) Mmax(a Assignment) Mem {
+	var mx Mem
+	for _, l := range in.MemLoads(a) {
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// SumCi returns the minimum achievable sum of completion times of
+// assignment a, i.e. with tasks on each processor run in SPT order
+// (shortest first), which is optimal for ΣCi given an assignment.
+func (in *Instance) SumCi(a Assignment) Time {
+	perProc := make([][]Time, in.M)
+	for i, t := range in.Tasks {
+		perProc[a[i]] = append(perProc[a[i]], t.P)
+	}
+	var total Time
+	for _, ps := range perProc {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		var clock Time
+		for _, p := range ps {
+			clock += p
+			total += clock
+		}
+	}
+	return total
+}
+
+// ValidateAssignment checks that a assigns every task to a processor in
+// [0, m) and has exactly one entry per task.
+func (in *Instance) ValidateAssignment(a Assignment) error {
+	if len(a) != len(in.Tasks) {
+		return fmt.Errorf("model: assignment covers %d tasks, instance has %d", len(a), len(in.Tasks))
+	}
+	for i, q := range a {
+		if q < 0 || q >= in.M {
+			return fmt.Errorf("model: task %d assigned to processor %d, want [0,%d)", i, q, in.M)
+		}
+	}
+	return nil
+}
+
+// Value is a point in objective space (Cmax, Mmax). It is the currency
+// of the Pareto-front packages.
+type Value struct {
+	Cmax Time
+	Mmax Mem
+}
+
+// Eval returns the (Cmax, Mmax) value of assignment a.
+func (in *Instance) Eval(a Assignment) Value {
+	return Value{Cmax: in.Cmax(a), Mmax: in.Mmax(a)}
+}
+
+// Dominates reports whether v weakly dominates w with at least one
+// strict improvement (standard Pareto dominance, minimization).
+func (v Value) Dominates(w Value) bool {
+	if v.Cmax > w.Cmax || v.Mmax > w.Mmax {
+		return false
+	}
+	return v.Cmax < w.Cmax || v.Mmax < w.Mmax
+}
+
+// WeaklyDominates reports whether v is no worse than w on both
+// objectives.
+func (v Value) WeaklyDominates(w Value) bool {
+	return v.Cmax <= w.Cmax && v.Mmax <= w.Mmax
+}
+
+func (v Value) String() string {
+	return fmt.Sprintf("(Cmax=%d, Mmax=%d)", v.Cmax, v.Mmax)
+}
+
+// ErrEmpty is returned by operations that need at least one task.
+var ErrEmpty = errors.New("model: empty instance")

@@ -1,0 +1,305 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewInstanceBasics(t *testing.T) {
+	in := NewInstance(3, []Time{4, 2, 7}, []Mem{1, 5, 3})
+	if in.N() != 3 {
+		t.Fatalf("N() = %d, want 3", in.N())
+	}
+	if got := in.TotalWork(); got != 13 {
+		t.Errorf("TotalWork = %d, want 13", got)
+	}
+	if got := in.TotalMem(); got != 9 {
+		t.Errorf("TotalMem = %d, want 9", got)
+	}
+	if got := in.MaxP(); got != 7 {
+		t.Errorf("MaxP = %d, want 7", got)
+	}
+	if got := in.MaxS(); got != 5 {
+		t.Errorf("MaxS = %d, want 5", got)
+	}
+	if err := in.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewInstancePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched p/s lengths")
+		}
+	}()
+	NewInstance(2, []Time{1, 2}, []Mem{1})
+}
+
+func TestValidateRejectsBadData(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *Instance
+	}{
+		{"zero machines", &Instance{M: 0, Tasks: []Task{{ID: 0, P: 1}}}},
+		{"nonpositive p", &Instance{M: 1, Tasks: []Task{{ID: 0, P: 0}}}},
+		{"negative s", &Instance{M: 1, Tasks: []Task{{ID: 0, P: 1, S: -1}}}},
+		{"bad id", &Instance{M: 1, Tasks: []Task{{ID: 5, P: 1}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.in.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid instance", tc.name)
+		}
+	}
+}
+
+func TestObjectivesSmall(t *testing.T) {
+	// Two processors, three tasks. Assignment {0,1,1}.
+	in := NewInstance(2, []Time{4, 2, 7}, []Mem{1, 5, 3})
+	a := Assignment{0, 1, 1}
+	if got := in.Cmax(a); got != 9 {
+		t.Errorf("Cmax = %d, want 9", got)
+	}
+	if got := in.Mmax(a); got != 8 {
+		t.Errorf("Mmax = %d, want 8", got)
+	}
+	// SPT per processor: proc0 = {4} -> 4; proc1 = {2,7} -> 2 + 9 = 11.
+	if got := in.SumCi(a); got != 15 {
+		t.Errorf("SumCi = %d, want 15", got)
+	}
+}
+
+func TestValidateAssignment(t *testing.T) {
+	in := NewInstance(2, []Time{1, 1}, []Mem{0, 0})
+	if err := in.ValidateAssignment(Assignment{0, 1}); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+	if err := in.ValidateAssignment(Assignment{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if err := in.ValidateAssignment(Assignment{0, 2}); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+}
+
+func TestDominance(t *testing.T) {
+	a := Value{Cmax: 1, Mmax: 2}
+	b := Value{Cmax: 2, Mmax: 2}
+	c := Value{Cmax: 2, Mmax: 1}
+	if !a.Dominates(b) {
+		t.Error("(1,2) should dominate (2,2)")
+	}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Error("(1,2) and (2,1) are incomparable")
+	}
+	if a.Dominates(a) {
+		t.Error("a value must not dominate itself")
+	}
+	if !a.WeaklyDominates(a) {
+		t.Error("a value weakly dominates itself")
+	}
+}
+
+func TestSwappedSymmetry(t *testing.T) {
+	in := NewInstance(2, []Time{4, 2, 7}, []Mem{1, 5, 3})
+	sw := in.Swapped()
+	a := Assignment{0, 1, 0}
+	if Time(in.Mmax(a)) != sw.Cmax(a) {
+		t.Errorf("Mmax(in) = %d != Cmax(swapped) = %d", in.Mmax(a), sw.Cmax(a))
+	}
+	if Mem(in.Cmax(a)) != sw.Mmax(a) {
+		t.Errorf("Cmax(in) = %d != Mmax(swapped) = %d", in.Cmax(a), sw.Mmax(a))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	in := NewInstance(2, []Time{1, 2}, []Mem{3, 4})
+	cl := in.Clone()
+	cl.Tasks[0].P = 99
+	if in.Tasks[0].P == 99 {
+		t.Error("Clone shares task storage with the original")
+	}
+}
+
+func TestFromAssignmentProducesValidSchedule(t *testing.T) {
+	in := NewInstance(3, []Time{4, 2, 7, 1, 3}, []Mem{1, 5, 3, 2, 2})
+	a := Assignment{0, 1, 1, 2, 0}
+	sc := FromAssignment(in, a)
+	if err := sc.Validate(nil); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if sc.Cmax() != in.Cmax(a) {
+		t.Errorf("schedule Cmax = %d, assignment Cmax = %d", sc.Cmax(), in.Cmax(a))
+	}
+	if sc.Mmax() != in.Mmax(a) {
+		t.Errorf("schedule Mmax = %d, assignment Mmax = %d", sc.Mmax(), in.Mmax(a))
+	}
+}
+
+func TestFromAssignmentSPTMinimisesSumCi(t *testing.T) {
+	in := NewInstance(2, []Time{5, 1, 3, 2}, []Mem{0, 0, 0, 0})
+	a := Assignment{0, 0, 0, 1}
+	spt := FromAssignmentSPT(in, a)
+	if err := spt.Validate(nil); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got, want := spt.SumCi(), in.SumCi(a); got != want {
+		t.Errorf("SPT schedule SumCi = %d, optimal per-assignment SumCi = %d", got, want)
+	}
+	// Arbitrary-order packing can only be worse or equal.
+	arb := FromAssignment(in, a)
+	if arb.SumCi() < spt.SumCi() {
+		t.Errorf("arbitrary order beat SPT: %d < %d", arb.SumCi(), spt.SumCi())
+	}
+}
+
+func TestScheduleValidateDetectsOverlap(t *testing.T) {
+	sc := NewSchedule(1, 2)
+	sc.Proc = []int{0, 0}
+	sc.Start = []Time{0, 1}
+	sc.P = []Time{3, 3}
+	sc.S = []Mem{0, 0}
+	if err := sc.Validate(nil); err == nil {
+		t.Error("overlapping tasks accepted")
+	}
+}
+
+func TestScheduleValidateDetectsPrecedenceViolation(t *testing.T) {
+	sc := NewSchedule(2, 2)
+	sc.Proc = []int{0, 1}
+	sc.Start = []Time{0, 0}
+	sc.P = []Time{3, 3}
+	sc.S = []Mem{0, 0}
+	prec := [][]int{{}, {0}} // task 1 depends on task 0
+	if err := sc.Validate(prec); err == nil {
+		t.Error("precedence violation accepted")
+	}
+	sc.Start[1] = 3
+	if err := sc.Validate(prec); err != nil {
+		t.Errorf("valid precedence schedule rejected: %v", err)
+	}
+}
+
+func TestScheduleValidateDetectsUnassigned(t *testing.T) {
+	sc := NewSchedule(2, 1)
+	sc.P[0] = 1
+	if err := sc.Validate(nil); err == nil {
+		t.Error("unassigned task accepted")
+	}
+}
+
+func TestJSONRoundTripInstance(t *testing.T) {
+	in := NewInstance(4, []Time{4, 2, 7, 9}, []Mem{1, 5, 3, 0})
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadInstanceJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadInstanceJSON: %v", err)
+	}
+	if back.M != in.M || back.N() != in.N() {
+		t.Fatalf("round trip lost shape: m=%d n=%d", back.M, back.N())
+	}
+	for i := range in.Tasks {
+		if in.Tasks[i] != back.Tasks[i] {
+			t.Errorf("task %d: %+v != %+v", i, in.Tasks[i], back.Tasks[i])
+		}
+	}
+}
+
+func TestJSONRoundTripSchedule(t *testing.T) {
+	in := NewInstance(2, []Time{4, 2}, []Mem{1, 5})
+	sc := FromAssignment(in, Assignment{0, 1})
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadScheduleJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadScheduleJSON: %v", err)
+	}
+	if back.Cmax() != sc.Cmax() || back.Mmax() != sc.Mmax() {
+		t.Errorf("round trip changed objectives")
+	}
+}
+
+func TestReadInstanceJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadInstanceJSON(bytes.NewBufferString(`{"m":0,"tasks":[]}`)); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := ReadInstanceJSON(bytes.NewBufferString(`not json`)); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}
+
+// randomInstance builds a reproducible random instance for property
+// tests.
+func randomInstance(rng *rand.Rand, maxN, maxM int) (*Instance, Assignment) {
+	n := 1 + rng.Intn(maxN)
+	m := 1 + rng.Intn(maxM)
+	p := make([]Time, n)
+	s := make([]Mem, n)
+	a := make(Assignment, n)
+	for i := 0; i < n; i++ {
+		p[i] = Time(1 + rng.Intn(100))
+		s[i] = Mem(rng.Intn(100))
+		a[i] = rng.Intn(m)
+	}
+	return NewInstance(m, p, s), a
+}
+
+func TestPropertyObjectivesMatchScheduleForm(t *testing.T) {
+	// For any assignment, the packed schedule has exactly the
+	// assignment's Cmax and Mmax, and loads sum to total work.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, a := randomInstance(rng, 40, 8)
+		sc := FromAssignment(in, a)
+		if sc.Validate(nil) != nil {
+			return false
+		}
+		var sum Time
+		for _, l := range in.Loads(a) {
+			sum += l
+		}
+		return sc.Cmax() == in.Cmax(a) &&
+			sc.Mmax() == in.Mmax(a) &&
+			sum == in.TotalWork()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySumCiLowerBoundsAnyOrder(t *testing.T) {
+	// Instance.SumCi (SPT per processor) never exceeds the packed
+	// arbitrary-order schedule's ΣCi.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, a := randomInstance(rng, 30, 6)
+		return in.SumCi(a) <= FromAssignment(in, a).SumCi()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySwapTwice(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, _ := randomInstance(rng, 20, 4)
+		back := in.Swapped().Swapped()
+		for i := range in.Tasks {
+			if in.Tasks[i].P != back.Tasks[i].P || in.Tasks[i].S != back.Tasks[i].S {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package paretogen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"storagesched/internal/gen"
+	"storagesched/internal/model"
+	"storagesched/internal/pareto"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	in := gen.Anticorrelated(30, 4, 3)
+	pts, err := Generate(in, Options{IncludeRLS: true, ConstrainedProbes: 4})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("empty front")
+	}
+	// Sorted by Cmax, strictly trading off.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value.Cmax <= pts[i-1].Value.Cmax {
+			t.Errorf("front not sorted at %d", i)
+		}
+		if pts[i].Value.Mmax >= pts[i-1].Value.Mmax {
+			t.Errorf("front not trading off at %d", i)
+		}
+	}
+	// Witnesses achieve their stated values.
+	for _, p := range pts {
+		if got := in.Eval(p.Assignment); got != p.Value {
+			t.Errorf("witness value %v != stated %v (source %s)", got, p.Value, p.Source)
+		}
+		if p.Source == "" {
+			t.Error("missing provenance")
+		}
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	bad := &model.Instance{M: 0}
+	if _, err := Generate(bad, Options{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	pts := []Point{
+		{Value: model.Value{Cmax: 1, Mmax: 5}},
+		{Value: model.Value{Cmax: 2, Mmax: 5}}, // dominated
+		{Value: model.Value{Cmax: 2, Mmax: 3}},
+		{Value: model.Value{Cmax: 2, Mmax: 3}}, // duplicate
+		{Value: model.Value{Cmax: 4, Mmax: 1}},
+	}
+	got := Filter(pts)
+	if len(got) != 3 {
+		t.Fatalf("filtered to %d points, want 3", len(got))
+	}
+}
+
+func TestEpsilonIndicator(t *testing.T) {
+	ref := []model.Value{{Cmax: 10, Mmax: 20}, {Cmax: 20, Mmax: 10}}
+	// The reference itself: epsilon 0.
+	if e := EpsilonIndicator(ref, ref); e != 0 {
+		t.Errorf("self indicator = %g, want 0", e)
+	}
+	// 10% worse everywhere.
+	gend := []model.Value{{Cmax: 11, Mmax: 22}, {Cmax: 22, Mmax: 11}}
+	if e := EpsilonIndicator(gend, ref); math.Abs(e-0.1) > 1e-9 {
+		t.Errorf("indicator = %g, want 0.1", e)
+	}
+	// Empty generated set.
+	if e := EpsilonIndicator(nil, ref); !math.IsInf(e, 1) {
+		t.Errorf("empty generated: %g, want +Inf", e)
+	}
+	// Empty reference: trivially zero.
+	if e := EpsilonIndicator(gend, nil); e != 0 {
+		t.Errorf("empty reference: %g, want 0", e)
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	front := []model.Value{{Cmax: 1, Mmax: 3}, {Cmax: 2, Mmax: 1}}
+	// Reference (4, 4): point (1,3) adds (4-1)*(4-3)=3; point (2,1)
+	// adds (4-2)*(3-1)=4. Total 7.
+	if hv := Hypervolume(front, 4, 4); hv != 7 {
+		t.Errorf("hypervolume = %g, want 7", hv)
+	}
+	// Points beyond the reference contribute nothing.
+	if hv := Hypervolume([]model.Value{{Cmax: 9, Mmax: 9}}, 4, 4); hv != 0 {
+		t.Errorf("out-of-range hypervolume = %g, want 0", hv)
+	}
+}
+
+// On small instances the generated front must be within a modest
+// epsilon of the exact front: the guarantee form predicts at most
+// rho*(grid factor) − 1 with LPT, so 0.75 is a loose envelope.
+func TestGeneratedFrontNearExactSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 12; trial++ {
+		in := randomInstance(rng, 10, 3)
+		exact, err := pareto.Front(in)
+		if err != nil {
+			t.Fatalf("exact front: %v", err)
+		}
+		approx, err := Generate(in, Options{IncludeRLS: true, ConstrainedProbes: 6, Steps: 32})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		e := EpsilonIndicator(Values(approx), pareto.Values(exact))
+		if e > 0.75 {
+			t.Errorf("trial %d: epsilon indicator %.3f too large (exact %v vs approx %v)",
+				trial, e, pareto.Values(exact), Values(approx))
+		}
+	}
+}
+
+func randomInstance(rng *rand.Rand, maxN, maxM int) *model.Instance {
+	n := 4 + rng.Intn(maxN-3)
+	m := 2 + rng.Intn(maxM-1)
+	p := make([]model.Time, n)
+	s := make([]model.Mem, n)
+	for i := 0; i < n; i++ {
+		p[i] = rng.Int63n(40) + 1
+		s[i] = rng.Int63n(40) + 1
+	}
+	return model.NewInstance(m, p, s)
+}
+
+// No generated point is dominated by any other candidate the sweep
+// produced (Filter contract) and none beats the exact front.
+func TestPropertyGeneratedPointsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 9, 3)
+		approx, err := Generate(in, Options{Steps: 12, IncludeRLS: true})
+		if err != nil {
+			return false
+		}
+		exact, err := pareto.Front(in)
+		if err != nil {
+			return false
+		}
+		for _, g := range approx {
+			for _, e := range exact {
+				if g.Value.Dominates(e.Value) {
+					return false // impossible: exact front is optimal
+				}
+			}
+		}
+		// Antichain check.
+		for i := range approx {
+			for j := range approx {
+				if i != j && approx[i].Value.WeaklyDominates(approx[j].Value) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

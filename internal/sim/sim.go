@@ -1,0 +1,272 @@
+// Package sim is the discrete-event execution substrate: it replays
+// static schedules on a simulated machine model (verifying, event by
+// event, that processors never overlap, precedences hold and memory
+// budgets are respected) and runs an *online* memory-capped list
+// scheduler for tasks with release dates — the dynamic setting the
+// paper's introduction attributes to multi-SoC systems ("code
+// replication for online optimization can make memory constraints a
+// key issue").
+//
+// The replay is an independent check of model.Schedule.Validate: it
+// computes objectives from machine events rather than from the
+// schedule arrays, so a bug in either implementation is caught by the
+// other.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"storagesched/internal/model"
+)
+
+// Report summarises one simulated execution.
+type Report struct {
+	Cmax  model.Time
+	Mmax  model.Mem
+	SumCi model.Time
+
+	// BusyTime[q] is the total running time of processor q;
+	// utilization is BusyTime[q]/Cmax.
+	BusyTime []model.Time
+	// MemUsed[q] is the final cumulative memory of processor q.
+	MemUsed []model.Mem
+	// Events is the number of simulation events processed.
+	Events int
+}
+
+// Utilization returns BusyTime[q]/Cmax (0 when the schedule is empty).
+func (r *Report) Utilization(q int) float64 {
+	if r.Cmax == 0 {
+		return 0
+	}
+	return float64(r.BusyTime[q]) / float64(r.Cmax)
+}
+
+// event is a task start or completion in the replay queue.
+type event struct {
+	at    model.Time
+	task  int
+	start bool
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(a, b int) bool {
+	if q[a].at != q[b].at {
+		return q[a].at < q[b].at
+	}
+	// Completions before starts at the same instant (back-to-back
+	// execution on one processor is legal).
+	if q[a].start != q[b].start {
+		return !q[a].start
+	}
+	return q[a].task < q[b].task
+}
+func (q eventQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Replay executes the schedule event by event. prec[i] lists the
+// predecessors of task i (nil for independent tasks). memCap, when
+// positive, is enforced as a hard per-processor budget. The replay
+// fails on any overlap, precedence violation or budget overflow.
+func Replay(sc *model.Schedule, prec [][]int, memCap model.Mem) (*Report, error) {
+	n := sc.N()
+	var q eventQueue
+	for i := 0; i < n; i++ {
+		if sc.Proc[i] < 0 || sc.Proc[i] >= sc.M {
+			return nil, fmt.Errorf("sim: task %d on processor %d", i, sc.Proc[i])
+		}
+		if sc.Start[i] < 0 {
+			return nil, fmt.Errorf("sim: task %d starts at %d", i, sc.Start[i])
+		}
+		heap.Push(&q, event{at: sc.Start[i], task: i, start: true})
+		heap.Push(&q, event{at: sc.Start[i] + sc.P[i], task: i, start: false})
+	}
+
+	running := make([]int, sc.M) // current task per processor, -1 idle
+	for j := range running {
+		running[j] = -1
+	}
+	done := make([]bool, n)
+	rep := &Report{
+		BusyTime: make([]model.Time, sc.M),
+		MemUsed:  make([]model.Mem, sc.M),
+	}
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		rep.Events++
+		j := sc.Proc[e.task]
+		if e.start {
+			if running[j] != -1 {
+				return nil, fmt.Errorf("sim: processor %d busy with task %d when task %d starts at %d",
+					j, running[j], e.task, e.at)
+			}
+			if prec != nil {
+				for _, u := range prec[e.task] {
+					if !done[u] {
+						return nil, fmt.Errorf("sim: task %d starts at %d before predecessor %d completed",
+							e.task, e.at, u)
+					}
+				}
+			}
+			rep.MemUsed[j] += sc.S[e.task]
+			if memCap > 0 && rep.MemUsed[j] > memCap {
+				return nil, fmt.Errorf("sim: processor %d exceeds memory budget %d at task %d",
+					j, memCap, e.task)
+			}
+			running[j] = e.task
+		} else {
+			if running[j] != e.task {
+				return nil, fmt.Errorf("sim: completion of task %d on processor %d, but %d is running",
+					e.task, j, running[j])
+			}
+			running[j] = -1
+			done[e.task] = true
+			rep.BusyTime[j] += sc.P[e.task]
+			rep.SumCi += e.at
+			if e.at > rep.Cmax {
+				rep.Cmax = e.at
+			}
+		}
+	}
+	for j, t := range running {
+		if t != -1 {
+			return nil, fmt.Errorf("sim: task %d never completed on processor %d", t, j)
+		}
+	}
+	for _, l := range rep.MemUsed {
+		if l > rep.Mmax {
+			rep.Mmax = l
+		}
+	}
+	return rep, nil
+}
+
+// OnlineTask is a task with a release date, unknown to the scheduler
+// before it arrives.
+type OnlineTask struct {
+	P       model.Time
+	S       model.Mem
+	Release model.Time
+}
+
+// OnlineResult is the outcome of the online scheduler.
+type OnlineResult struct {
+	Schedule *model.Schedule
+	Cmax     model.Time
+	Mmax     model.Mem
+	// MaxRelease is max_i r_i, needed by the competitive bound.
+	MaxRelease model.Time
+}
+
+// OnlineRLS runs the event-driven online variant of Algorithm 2: at
+// every release or completion instant, pending tasks (in arrival
+// order, ties by index) are placed on idle processors whose memory
+// budget admits them; tasks that fit nowhere idle wait for a budget
+// that will never grow — so if at any instant nothing runs and nothing
+// fits, the cap is too small and an error is returned (impossible for
+// cap ≥ 2·LB by the Lemma 4 counting argument).
+func OnlineRLS(tasks []OnlineTask, m int, memCap model.Mem) (*OnlineResult, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("sim: m = %d", m)
+	}
+	n := len(tasks)
+	sc := model.NewSchedule(m, n)
+	for i, t := range tasks {
+		if t.P <= 0 {
+			return nil, fmt.Errorf("sim: task %d has p = %d", i, t.P)
+		}
+		if t.S < 0 || t.Release < 0 {
+			return nil, fmt.Errorf("sim: task %d has negative s or release", i)
+		}
+		sc.P[i] = t.P
+		sc.S[i] = t.S
+	}
+
+	freeAt := make([]model.Time, m) // next instant processor is idle
+	memUsed := make([]model.Mem, m)
+	scheduled := make([]bool, n)
+	var maxRelease model.Time
+	for _, t := range tasks {
+		if t.Release > maxRelease {
+			maxRelease = t.Release
+		}
+	}
+
+	// Event-driven loop: advance the clock to the next release or
+	// completion, then greedily place every pending released task on
+	// the earliest-free feasible processor that is idle at or before
+	// the clock.
+	remaining := n
+	clock := model.Time(0)
+	for remaining > 0 {
+		progress := false
+		for i := 0; i < n; i++ {
+			if scheduled[i] || tasks[i].Release > clock {
+				continue
+			}
+			best := -1
+			for j := 0; j < m; j++ {
+				if memCap > 0 && memUsed[j]+tasks[i].S > memCap {
+					continue
+				}
+				if freeAt[j] > clock {
+					continue
+				}
+				if best == -1 || freeAt[j] < freeAt[best] {
+					best = j
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			sc.Proc[i] = best
+			sc.Start[i] = clock
+			freeAt[best] = clock + tasks[i].P
+			memUsed[best] += tasks[i].S
+			scheduled[i] = true
+			remaining--
+			progress = true
+		}
+		if remaining == 0 {
+			break
+		}
+		// Advance to the next event: earliest completion after the
+		// clock or earliest pending release.
+		next := model.Time(-1)
+		for j := 0; j < m; j++ {
+			if freeAt[j] > clock && (next == -1 || freeAt[j] < next) {
+				next = freeAt[j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !scheduled[i] && tasks[i].Release > clock &&
+				(next == -1 || tasks[i].Release < next) {
+				next = tasks[i].Release
+			}
+		}
+		if next == -1 {
+			if !progress {
+				return nil, fmt.Errorf("sim: online scheduler stuck (memory budget %d too small)", memCap)
+			}
+			// All processors idle and all released: loop once more.
+			continue
+		}
+		clock = next
+	}
+	return &OnlineResult{
+		Schedule:   sc,
+		Cmax:       sc.Cmax(),
+		Mmax:       sc.Mmax(),
+		MaxRelease: maxRelease,
+	}, nil
+}

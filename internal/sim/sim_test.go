@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"storagesched/internal/bounds"
+	"storagesched/internal/core"
+	"storagesched/internal/dag"
+	"storagesched/internal/gen"
+	"storagesched/internal/model"
+)
+
+func TestReplayMatchesScheduleObjectives(t *testing.T) {
+	in := gen.Uniform(30, 4, 3)
+	res, err := core.RLSIndependent(in, 3, core.TieSPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(res.Schedule, nil, res.Cap)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Cmax != res.Cmax || rep.Mmax != res.Mmax || rep.SumCi != res.SumCi {
+		t.Errorf("replay objectives (%d,%d,%d) != schedule (%d,%d,%d)",
+			rep.Cmax, rep.Mmax, rep.SumCi, res.Cmax, res.Mmax, res.SumCi)
+	}
+	var busy model.Time
+	for q := range rep.BusyTime {
+		busy += rep.BusyTime[q]
+		if u := rep.Utilization(q); u < 0 || u > 1 {
+			t.Errorf("utilization[%d] = %g", q, u)
+		}
+	}
+	if busy != in.TotalWork() {
+		t.Errorf("busy time %d != total work %d", busy, in.TotalWork())
+	}
+}
+
+func TestReplayDAGSchedule(t *testing.T) {
+	g := gen.LayeredDAG(4, 6, 3, 5)
+	res, err := core.RLS(g, 3, core.TieBottomLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(res.Schedule, g.PredLists(), res.Cap)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Cmax != res.Cmax {
+		t.Errorf("replay Cmax %d != %d", rep.Cmax, res.Cmax)
+	}
+}
+
+func TestReplayCatchesOverlap(t *testing.T) {
+	sc := model.NewSchedule(1, 2)
+	sc.Proc = []int{0, 0}
+	sc.Start = []model.Time{0, 2}
+	sc.P = []model.Time{3, 1}
+	sc.S = []model.Mem{0, 0}
+	if _, err := Replay(sc, nil, 0); err == nil {
+		t.Error("overlap not caught")
+	}
+}
+
+func TestReplayCatchesPrecedenceViolation(t *testing.T) {
+	sc := model.NewSchedule(2, 2)
+	sc.Proc = []int{0, 1}
+	sc.Start = []model.Time{0, 1}
+	sc.P = []model.Time{3, 1}
+	sc.S = []model.Mem{0, 0}
+	prec := [][]int{{}, {0}}
+	if _, err := Replay(sc, prec, 0); err == nil {
+		t.Error("precedence violation not caught")
+	}
+}
+
+func TestReplayCatchesMemoryOverflow(t *testing.T) {
+	sc := model.NewSchedule(1, 2)
+	sc.Proc = []int{0, 0}
+	sc.Start = []model.Time{0, 1}
+	sc.P = []model.Time{1, 1}
+	sc.S = []model.Mem{5, 5}
+	if _, err := Replay(sc, nil, 8); err == nil {
+		t.Error("memory overflow not caught")
+	}
+	if _, err := Replay(sc, nil, 10); err != nil {
+		t.Errorf("budget 10 wrongly rejected: %v", err)
+	}
+}
+
+func TestReplayCatchesBadProcessor(t *testing.T) {
+	sc := model.NewSchedule(1, 1)
+	sc.Proc = []int{5}
+	sc.P = []model.Time{1}
+	if _, err := Replay(sc, nil, 0); err == nil {
+		t.Error("bad processor not caught")
+	}
+}
+
+func TestReplayBackToBackIsLegal(t *testing.T) {
+	sc := model.NewSchedule(1, 2)
+	sc.Proc = []int{0, 0}
+	sc.Start = []model.Time{0, 3}
+	sc.P = []model.Time{3, 2}
+	sc.S = []model.Mem{1, 1}
+	if _, err := Replay(sc, nil, 0); err != nil {
+		t.Errorf("back-to-back rejected: %v", err)
+	}
+}
+
+func TestOnlineRLSBasics(t *testing.T) {
+	tasks := []OnlineTask{
+		{P: 4, S: 2, Release: 0},
+		{P: 2, S: 2, Release: 0},
+		{P: 3, S: 2, Release: 5},
+	}
+	res, err := OnlineRLS(tasks, 2, 100)
+	if err != nil {
+		t.Fatalf("OnlineRLS: %v", err)
+	}
+	// Tasks must start at or after release.
+	for i, task := range tasks {
+		if res.Schedule.Start[i] < task.Release {
+			t.Errorf("task %d started at %d before release %d", i, res.Schedule.Start[i], task.Release)
+		}
+	}
+	if err := res.Schedule.Validate(nil); err != nil {
+		t.Errorf("invalid schedule: %v", err)
+	}
+	if res.MaxRelease != 5 {
+		t.Errorf("MaxRelease = %d", res.MaxRelease)
+	}
+	// t0 on q0, t1 on q1 at 0; t2 at its release on either.
+	if res.Cmax != 8 {
+		t.Errorf("Cmax = %d, want 8", res.Cmax)
+	}
+}
+
+func TestOnlineRLSRejectsBadInput(t *testing.T) {
+	if _, err := OnlineRLS([]OnlineTask{{P: 0}}, 1, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := OnlineRLS([]OnlineTask{{P: 1, Release: -1}}, 1, 0); err == nil {
+		t.Error("negative release accepted")
+	}
+	if _, err := OnlineRLS(nil, 0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestOnlineRLSStuckOnTinyBudget(t *testing.T) {
+	tasks := []OnlineTask{
+		{P: 1, S: 10, Release: 0},
+		{P: 1, S: 10, Release: 0},
+		{P: 1, S: 10, Release: 0},
+	}
+	// Budget 10 on one machine: after the first task the second never
+	// fits (cumulative memory).
+	if _, err := OnlineRLS(tasks, 1, 10); err == nil {
+		t.Error("stuck condition not detected")
+	}
+}
+
+// The online scheduler respects the memory budget and stays within the
+// cap-aware competitive envelope:
+// Cmax ≤ maxRelease + W·(∆−1)/(m(∆−2)) + pmax for budget ∆·LB, ∆ > 2.
+func TestPropertyOnlineRLSGuarantees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		m := 1 + rng.Intn(6)
+		tasks := make([]OnlineTask, n)
+		s := make([]model.Mem, n)
+		var work, maxP model.Time
+		for i := range tasks {
+			tasks[i] = OnlineTask{
+				P:       rng.Int63n(50) + 1,
+				S:       rng.Int63n(50),
+				Release: rng.Int63n(200),
+			}
+			s[i] = tasks[i].S
+			work += tasks[i].P
+			if tasks[i].P > maxP {
+				maxP = tasks[i].P
+			}
+		}
+		const delta = 3.0
+		lb := bounds.MemLB(s, m)
+		cap := model.Mem(delta * float64(lb))
+		res, err := OnlineRLS(tasks, m, cap)
+		if err != nil {
+			return false
+		}
+		if res.Mmax > cap {
+			return false
+		}
+		if res.Schedule.Validate(nil) != nil {
+			return false
+		}
+		bound := float64(res.MaxRelease) +
+			float64(work)*(delta-1)/(float64(m)*(delta-2)) +
+			float64(maxP)
+		return float64(res.Cmax) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Replay agrees with Schedule.Validate: whatever one accepts, the
+// other accepts (cross-validation of the two checkers).
+func TestPropertyReplayAgreesWithValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		m := 1 + rng.Intn(4)
+		p := make([]model.Time, n)
+		s := make([]model.Mem, n)
+		for i := range p {
+			p[i] = rng.Int63n(20) + 1
+			s[i] = rng.Int63n(20)
+		}
+		g := dag.New(m, p, s)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.2 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		res, err := core.RLS(g, 3, core.TieByID)
+		if err != nil {
+			return false
+		}
+		sc := res.Schedule
+		// Valid schedule: both accept.
+		if sc.Validate(g.PredLists()) != nil {
+			return false
+		}
+		if _, err := Replay(sc, g.PredLists(), 0); err != nil {
+			return false
+		}
+		// Corrupt a start time: both reject (or the corruption
+		// happened to stay valid — then both must accept).
+		victim := rng.Intn(n)
+		old := sc.Start[victim]
+		sc.Start[victim] = old / 2
+		vErr := sc.Validate(g.PredLists())
+		_, rErr := Replay(sc, g.PredLists(), 0)
+		sc.Start[victim] = old
+		return (vErr == nil) == (rErr == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

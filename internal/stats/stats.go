@@ -1,0 +1,104 @@
+// Package stats provides the small accumulators the experiment tables
+// need: online mean/max/min (Welford) and quantiles over recorded
+// samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Acc accumulates float64 samples.
+type Acc struct {
+	n       int
+	mean    float64
+	m2      float64
+	min     float64
+	max     float64
+	samples []float64
+	keep    bool
+}
+
+// NewAcc returns an accumulator. keepSamples enables quantiles at the
+// cost of retaining every sample.
+func NewAcc(keepSamples bool) *Acc {
+	return &Acc{min: math.Inf(1), max: math.Inf(-1), keep: keepSamples}
+}
+
+// Add records one sample.
+func (a *Acc) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+	if a.keep {
+		a.samples = append(a.samples, x)
+	}
+}
+
+// N returns the sample count.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the running mean (0 for no samples).
+func (a *Acc) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.mean
+}
+
+// Var returns the unbiased sample variance.
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Acc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest sample (+Inf for none).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest sample (−Inf for none).
+func (a *Acc) Max() float64 { return a.max }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation; it panics unless samples were kept.
+func (a *Acc) Quantile(q float64) float64 {
+	if !a.keep {
+		panic("stats: quantile requested but samples not kept")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside [0,1]", q))
+	}
+	if len(a.samples) == 0 {
+		return math.NaN()
+	}
+	xs := append([]float64(nil), a.samples...)
+	sort.Float64s(xs)
+	pos := q * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// Summary formats "mean / max (n)" for tables.
+func (a *Acc) Summary() string {
+	if a.n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f / %.4f (n=%d)", a.Mean(), a.Max(), a.n)
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccBasics(t *testing.T) {
+	a := NewAcc(true)
+	for _, x := range []float64{1, 2, 3, 4} {
+		a.Add(x)
+	}
+	if a.N() != 4 {
+		t.Errorf("N = %d, want 4", a.N())
+	}
+	if a.Mean() != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", a.Mean())
+	}
+	if a.Min() != 1 || a.Max() != 4 {
+		t.Errorf("Min/Max = %g/%g", a.Min(), a.Max())
+	}
+	// Var of {1,2,3,4} = 5/3.
+	if math.Abs(a.Var()-5.0/3) > 1e-12 {
+		t.Errorf("Var = %g, want 5/3", a.Var())
+	}
+	if math.Abs(a.Quantile(0.5)-2.5) > 1e-12 {
+		t.Errorf("median = %g, want 2.5", a.Quantile(0.5))
+	}
+	if a.Quantile(0) != 1 || a.Quantile(1) != 4 {
+		t.Errorf("extreme quantiles wrong")
+	}
+}
+
+func TestAccEmpty(t *testing.T) {
+	a := NewAcc(false)
+	if a.Mean() != 0 || a.Var() != 0 || a.N() != 0 {
+		t.Error("empty accumulator not zeroed")
+	}
+	if a.Summary() != "-" {
+		t.Errorf("Summary = %q, want -", a.Summary())
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("quantile without samples accepted")
+			}
+		}()
+		NewAcc(false).Quantile(0.5)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("quantile out of range accepted")
+			}
+		}()
+		NewAcc(true).Quantile(1.5)
+	}()
+}
+
+func TestPropertyWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		a := NewAcc(false)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+			a.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Var()-v) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAcc(true)
+		for i := 0; i < 30; i++ {
+			a.Add(rng.Float64() * 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := a.Quantile(q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	p := New(40, 10, 0, 10, 0, 10)
+	p.Add(Series{Name: "diag", Marker: '*', X: []float64{0, 5, 10}, Y: []float64{0, 5, 10}})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	canvas := out[:strings.Index(out, "+-")] // strip axis + legend
+	if strings.Count(canvas, "*") != 3 {
+		t.Errorf("want 3 markers, got %d:\n%s", strings.Count(canvas, "*"), out)
+	}
+	if !strings.Contains(out, "* = diag") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotClipsOutOfRange(t *testing.T) {
+	p := New(20, 6, 0, 1, 0, 1)
+	p.Add(Series{Name: "out", Marker: 'x', X: []float64{5, -1}, Y: []float64{5, -1}})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if strings.Contains(buf.String(), "x = out") && strings.Count(buf.String(), "x") > 1 {
+		t.Errorf("clipped points rendered:\n%s", buf.String())
+	}
+}
+
+func TestPlotPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"tiny canvas": func() { New(2, 2, 0, 1, 0, 1) },
+		"bad range":   func() { New(20, 10, 1, 0, 0, 1) },
+		"mismatched": func() {
+			p := New(20, 10, 0, 1, 0, 1)
+			p.Add(Series{X: []float64{1}, Y: nil})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPlotCorners(t *testing.T) {
+	// Corner points land on the canvas borders, not outside.
+	p := New(30, 8, 0, 1, 0, 1)
+	p.Add(Series{Name: "c", Marker: 'o', X: []float64{0, 1, 0, 1}, Y: []float64{0, 0, 1, 1}})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	canvas := out[:strings.Index(out, "+-")]
+	if got := strings.Count(canvas, "o"); got != 4 {
+		t.Errorf("want 4 corner markers, got %d:\n%s", got, out)
+	}
+}

@@ -1,0 +1,138 @@
+// Package trace reads and writes instances and schedules in CSV — the
+// lowest-friction interchange with spreadsheet and plotting tools and
+// with batch-system accounting dumps (the grid use case of the paper's
+// introduction typically starts from such logs).
+//
+// Instance CSV: header "id,p,s[,name]" then one row per task.
+// Schedule CSV: header "id,proc,start,p,s" then one row per task.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"storagesched/internal/model"
+)
+
+// WriteInstanceCSV emits the instance with an "id,p,s,name" header.
+func WriteInstanceCSV(w io.Writer, in *model.Instance) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "p", "s", "name"}); err != nil {
+		return err
+	}
+	for _, t := range in.Tasks {
+		rec := []string{
+			strconv.Itoa(t.ID),
+			strconv.FormatInt(t.P, 10),
+			strconv.FormatInt(t.S, 10),
+			t.Name,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadInstanceCSV parses a task table. m is supplied by the caller
+// (CSV logs carry tasks, not cluster shapes). Column order is fixed;
+// the name column is optional.
+func ReadInstanceCSV(r io.Reader, m int) (*model.Instance, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	header := rows[0]
+	if len(header) < 3 || header[0] != "id" || header[1] != "p" || header[2] != "s" {
+		return nil, fmt.Errorf("trace: unexpected header %v, want id,p,s[,name]", header)
+	}
+	in := &model.Instance{M: m}
+	for i, row := range rows[1:] {
+		if len(row) < 3 {
+			return nil, fmt.Errorf("trace: row %d has %d fields", i+1, len(row))
+		}
+		p, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad p %q", i+1, row[1])
+		}
+		s, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad s %q", i+1, row[2])
+		}
+		t := model.Task{ID: len(in.Tasks), P: p, S: s}
+		if len(row) >= 4 {
+			t.Name = row[3]
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// WriteScheduleCSV emits "id,proc,start,p,s" rows.
+func WriteScheduleCSV(w io.Writer, sc *model.Schedule) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "proc", "start", "p", "s"}); err != nil {
+		return err
+	}
+	for i := 0; i < sc.N(); i++ {
+		rec := []string{
+			strconv.Itoa(i),
+			strconv.Itoa(sc.Proc[i]),
+			strconv.FormatInt(sc.Start[i], 10),
+			strconv.FormatInt(sc.P[i], 10),
+			strconv.FormatInt(sc.S[i], 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadScheduleCSV parses a schedule table for m processors.
+func ReadScheduleCSV(r io.Reader, m int) (*model.Schedule, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) == 0 || len(rows[0]) != 5 || rows[0][0] != "id" {
+		return nil, fmt.Errorf("trace: unexpected schedule header")
+	}
+	sc := model.NewSchedule(m, len(rows)-1)
+	for i, row := range rows[1:] {
+		proc, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad proc %q", i+1, row[1])
+		}
+		start, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad start %q", i+1, row[2])
+		}
+		p, err := strconv.ParseInt(row[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad p %q", i+1, row[3])
+		}
+		s, err := strconv.ParseInt(row[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad s %q", i+1, row[4])
+		}
+		sc.Proc[i] = proc
+		sc.Start[i] = start
+		sc.P[i] = p
+		sc.S[i] = s
+	}
+	return sc, nil
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"storagesched/internal/gen"
+	"storagesched/internal/model"
+)
+
+func TestInstanceCSVRoundTrip(t *testing.T) {
+	in := gen.Uniform(20, 4, 3)
+	in.Tasks[0].Name = "first"
+	var buf bytes.Buffer
+	if err := WriteInstanceCSV(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadInstanceCSV(&buf, 4)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.N() != in.N() || back.M != 4 {
+		t.Fatalf("shape changed: n=%d m=%d", back.N(), back.M)
+	}
+	for i := range in.Tasks {
+		if in.Tasks[i] != back.Tasks[i] {
+			t.Errorf("task %d: %+v != %+v", i, in.Tasks[i], back.Tasks[i])
+		}
+	}
+}
+
+func TestReadInstanceCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "a,b,c\n1,2,3\n",
+		"bad p":      "id,p,s\n0,x,3\n",
+		"bad s":      "id,p,s\n0,2,x\n",
+		"invalid p":  "id,p,s\n0,0,3\n", // p must be > 0
+		"short row":  "id,p,s\n0,2\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadInstanceCSV(strings.NewReader(data), 2); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestScheduleCSVRoundTrip(t *testing.T) {
+	in := gen.Uniform(15, 3, 5)
+	sc := model.FromAssignment(in, make(model.Assignment, in.N()))
+	var buf bytes.Buffer
+	if err := WriteScheduleCSV(&buf, sc); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadScheduleCSV(&buf, 3)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.Cmax() != sc.Cmax() || back.Mmax() != sc.Mmax() || back.SumCi() != sc.SumCi() {
+		t.Errorf("objectives changed on round trip")
+	}
+	if err := back.Validate(nil); err != nil {
+		t.Errorf("round-tripped schedule invalid: %v", err)
+	}
+}
+
+func TestReadScheduleCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "x\n",
+		"bad proc":   "id,proc,start,p,s\n0,x,0,1,1\n",
+		"bad start":  "id,proc,start,p,s\n0,0,x,1,1\n",
+		"bad p":      "id,proc,start,p,s\n0,0,0,x,1\n",
+		"bad s":      "id,proc,start,p,s\n0,0,0,1,x\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadScheduleCSV(strings.NewReader(data), 2); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCSVNameColumnOptional(t *testing.T) {
+	data := "id,p,s\n0,5,2\n1,3,1\n"
+	in, err := ReadInstanceCSV(strings.NewReader(data), 2)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if in.N() != 2 || in.Tasks[0].P != 5 || in.Tasks[1].S != 1 {
+		t.Errorf("parsed wrong: %+v", in.Tasks)
+	}
+}

@@ -1,0 +1,384 @@
+// Package uniform extends the paper's algorithms to uniform (related)
+// machines — processors with speeds q_j — the "non identical
+// processors" direction named in the paper's concluding remarks.
+//
+// Model: task i placed on machine j contributes p_i/q_j running time
+// but its full s_i storage (storage capacity does not scale with
+// speed). Makespans are therefore rationals; they are compared by
+// cross-multiplication and only converted to float64 for reporting.
+//
+// Algorithms and what carries over:
+//
+//   - greedy earliest-completion list scheduling and its LPT variant
+//     (the classical uniform-machine heuristics);
+//   - SBOUniform, Algorithm 1 with the threshold scaled by the
+//     slowest speed: task i follows the memory schedule iff
+//     p_i/(C·qmin) < ∆·s_i/M. The Property 1 argument survives
+//     verbatim (per-machine extra running time < ∆·C·qmin/q_j ≤ ∆·C),
+//     while Property 2 weakens by the speed spread Q = qmax/qmin:
+//     Mmax(π∆) ≤ (1 + Q/∆)·M. Both bounds are enforced by tests.
+//   - RLSUniform, Algorithm 2's loop with earliest completion in
+//     place of least load; Corollary 2 (Mmax ≤ ∆·LB) holds unchanged
+//     because the memory argument never involves speeds.
+package uniform
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"storagesched/internal/bounds"
+	"storagesched/internal/model"
+)
+
+// Speeds is the machine speed vector; all entries must be >= 1.
+type Speeds []int64
+
+// Validate checks the speed vector.
+func (q Speeds) Validate() error {
+	if len(q) == 0 {
+		return fmt.Errorf("uniform: empty speed vector")
+	}
+	for j, s := range q {
+		if s < 1 {
+			return fmt.Errorf("uniform: speed[%d] = %d, need >= 1", j, s)
+		}
+	}
+	return nil
+}
+
+// Min returns the slowest speed.
+func (q Speeds) Min() int64 {
+	mn := q[0]
+	for _, s := range q[1:] {
+		if s < mn {
+			mn = s
+		}
+	}
+	return mn
+}
+
+// Max returns the fastest speed.
+func (q Speeds) Max() int64 {
+	mx := q[0]
+	for _, s := range q[1:] {
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Spread returns Q = qmax/qmin.
+func (q Speeds) Spread() float64 { return float64(q.Max()) / float64(q.Min()) }
+
+// Rat is a non-negative rational time value (Work units / Speed).
+type Rat struct {
+	Num int64 // work
+	Den int64 // speed, > 0
+}
+
+// Float converts for reporting.
+func (r Rat) Float() float64 { return float64(r.Num) / float64(r.Den) }
+
+// Less compares two rational times exactly.
+func (r Rat) Less(o Rat) bool { return r.Num*o.Den < o.Num*r.Den }
+
+// LessEq is the non-strict comparison.
+func (r Rat) LessEq(o Rat) bool { return r.Num*o.Den <= o.Num*r.Den }
+
+// Cmax returns the exact rational makespan of assignment a for work
+// vector p on machines with the given speeds.
+func Cmax(p []model.Time, q Speeds, a model.Assignment) Rat {
+	loads := make([]int64, len(q))
+	for i, j := range a {
+		loads[j] += p[i]
+	}
+	best := Rat{Num: 0, Den: 1}
+	for j, l := range loads {
+		r := Rat{Num: l, Den: q[j]}
+		if best.Less(r) {
+			best = r
+		}
+	}
+	return best
+}
+
+// Mmax returns the maximum per-machine storage (speed-independent).
+func Mmax(s []model.Mem, q Speeds, a model.Assignment) model.Mem {
+	mem := make([]model.Mem, len(q))
+	for i, j := range a {
+		mem[j] += s[i]
+	}
+	var mx model.Mem
+	for _, l := range mem {
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// CmaxLB returns a lower bound on the uniform-machine makespan:
+// max(Σp/Σq, max_i p_i / qmax) as an exact rational (the classical
+// area and longest-job bounds).
+func CmaxLB(p []model.Time, q Speeds) Rat {
+	var work, maxP int64
+	for _, x := range p {
+		work += x
+		if x > maxP {
+			maxP = x
+		}
+	}
+	var speedSum int64
+	for _, s := range q {
+		speedSum += s
+	}
+	area := Rat{Num: work, Den: speedSum}
+	longest := Rat{Num: maxP, Den: q.Max()}
+	if area.Less(longest) {
+		return longest
+	}
+	return area
+}
+
+// ListUniform assigns tasks, in the given order, to the machine that
+// completes them earliest (exact rational comparison; lower machine
+// index wins ties). This is the classical uniform-machine greedy.
+func ListUniform(p []model.Time, q Speeds, order []int) model.Assignment {
+	a := make(model.Assignment, len(p))
+	loads := make([]int64, len(q))
+	for _, i := range order {
+		best := 0
+		bestR := Rat{Num: loads[0] + p[i], Den: q[0]}
+		for j := 1; j < len(q); j++ {
+			r := Rat{Num: loads[j] + p[i], Den: q[j]}
+			if r.Less(bestR) {
+				best, bestR = j, r
+			}
+		}
+		a[i] = best
+		loads[best] += p[i]
+	}
+	return a
+}
+
+// LPTUniform is ListUniform in decreasing-work order (ratio ≤ 2 on
+// uniform machines, Gonzalez–Ibarra–Sahni style).
+func LPTUniform(p []model.Time, q Speeds) model.Assignment {
+	order := make([]int, len(p))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if p[order[a]] != p[order[b]] {
+			return p[order[a]] > p[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return ListUniform(p, q, order)
+}
+
+// SBOUniformResult carries one SBOUniform run.
+type SBOUniformResult struct {
+	Delta float64
+
+	Assignment      model.Assignment
+	FromMemSchedule []bool
+
+	// C is the rational makespan of the time sub-schedule; M the
+	// memory of the memory sub-schedule.
+	C Rat
+	M model.Mem
+
+	// Achieved objectives.
+	Cmax Rat
+	Mmax model.Mem
+
+	// SpeedSpread is Q = qmax/qmin, the factor by which the memory
+	// guarantee weakens: Mmax ≤ (1 + Q/∆)·M.
+	SpeedSpread float64
+}
+
+// CmaxBound returns the carried-over Property 1 bound (1+∆)·C.
+func (r *SBOUniformResult) CmaxBound() float64 { return (1 + r.Delta) * r.C.Float() }
+
+// MmaxBound returns the weakened Property 2 bound (1 + Q/∆)·M.
+func (r *SBOUniformResult) MmaxBound() float64 {
+	return (1 + r.SpeedSpread/r.Delta) * float64(r.M)
+}
+
+// SBOUniform runs the Algorithm 1 adaptation on uniform machines:
+// π1 = LPTUniform on work, π2 = LPT on storage (identical machines —
+// storage does not scale), threshold p_i/(C·qmin) < ∆·s_i/M evaluated
+// exactly in rationals.
+func SBOUniform(in *model.Instance, q Speeds, delta float64) (*SBOUniformResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q) != in.M {
+		return nil, fmt.Errorf("uniform: %d speeds for m=%d machines", len(q), in.M)
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("uniform: delta = %g, need > 0", delta)
+	}
+	return sboUniform(in, in.P(), in.S(), q, delta)
+}
+
+func sboUniform(in *model.Instance, p []model.Time, s []model.Mem, q Speeds, delta float64) (*SBOUniformResult, error) {
+	pi1 := LPTUniform(p, q)
+	c := Cmax(p, q, pi1)
+
+	// Memory schedule on identical machines: storage ignores speed.
+	pi2 := memLPT(s, in.M)
+	mVal := Mmax(s, q, pi2)
+
+	res := &SBOUniformResult{
+		Delta:           delta,
+		Assignment:      make(model.Assignment, in.N()),
+		FromMemSchedule: make([]bool, in.N()),
+		C:               c,
+		M:               mVal,
+		SpeedSpread:     q.Spread(),
+	}
+	qmin := q.Min()
+	deltaRat := new(big.Rat).SetFloat64(delta)
+	lhs := new(big.Rat)
+	rhs := new(big.Rat)
+	tmp := new(big.Rat)
+	for i := range p {
+		useMem := false
+		if mVal > 0 {
+			// p_i/(C·qmin) < ∆·s_i/M
+			// ⇔ p_i·C.Den·M < ∆·s_i·C.Num·qmin  (C = Num/Den).
+			lhs.SetInt64(p[i])
+			tmp.SetInt64(c.Den)
+			lhs.Mul(lhs, tmp)
+			tmp.SetInt64(int64(mVal))
+			lhs.Mul(lhs, tmp)
+			rhs.SetInt64(int64(s[i]))
+			tmp.SetInt64(c.Num)
+			rhs.Mul(rhs, tmp)
+			tmp.SetInt64(qmin)
+			rhs.Mul(rhs, tmp)
+			rhs.Mul(rhs, deltaRat)
+			useMem = lhs.Cmp(rhs) < 0
+		}
+		if useMem {
+			res.Assignment[i] = pi2[i]
+		} else {
+			res.Assignment[i] = pi1[i]
+		}
+		res.FromMemSchedule[i] = useMem
+	}
+	res.Cmax = Cmax(p, q, res.Assignment)
+	res.Mmax = Mmax(s, q, res.Assignment)
+	return res, nil
+}
+
+// memLPT is LPT on storage over identical machines.
+func memLPT(s []model.Mem, m int) model.Assignment {
+	order := make([]int, len(s))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if s[order[a]] != s[order[b]] {
+			return s[order[a]] > s[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	a := make(model.Assignment, len(s))
+	loads := make([]model.Mem, m)
+	for _, i := range order {
+		best := 0
+		for j := 1; j < m; j++ {
+			if loads[j] < loads[best] {
+				best = j
+			}
+		}
+		a[i] = best
+		loads[best] += s[i]
+	}
+	return a
+}
+
+// RLSUniformResult carries one RLSUniform run.
+type RLSUniformResult struct {
+	Delta      float64
+	Assignment model.Assignment
+	LB         model.Mem
+	Cap        model.Mem
+	Cmax       Rat
+	Mmax       model.Mem
+}
+
+// RLSUniform adapts Algorithm 2 to uniform machines on independent
+// tasks: tasks in SPT-by-work order go to the memory-feasible machine
+// with the earliest completion time. Corollary 2 (Mmax ≤ ∆·LB) holds
+// unchanged; the makespan guarantee is measured, not proven.
+func RLSUniform(in *model.Instance, q Speeds, delta float64) (*RLSUniformResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q) != in.M {
+		return nil, fmt.Errorf("uniform: %d speeds for m=%d machines", len(q), in.M)
+	}
+	if delta < 2 {
+		return nil, fmt.Errorf("uniform: delta = %g, need >= 2", delta)
+	}
+	p := in.P()
+	s := in.S()
+	lb := bounds.MemLB(s, in.M)
+	capR := new(big.Rat).SetFloat64(delta)
+	capR.Mul(capR, new(big.Rat).SetInt64(int64(lb)))
+	cap := new(big.Int).Quo(capR.Num(), capR.Denom()).Int64()
+
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if p[order[a]] != p[order[b]] {
+			return p[order[a]] < p[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	a := make(model.Assignment, in.N())
+	loads := make([]int64, in.M)
+	mems := make([]model.Mem, in.M)
+	for _, i := range order {
+		best := -1
+		var bestR Rat
+		for j := 0; j < in.M; j++ {
+			if mems[j]+s[i] > cap {
+				continue
+			}
+			r := Rat{Num: loads[j] + p[i], Den: q[j]}
+			if best == -1 || r.Less(bestR) {
+				best, bestR = j, r
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("uniform: task %d fits on no machine under cap %d", i, cap)
+		}
+		a[i] = best
+		loads[best] += p[i]
+		mems[best] += s[i]
+	}
+	return &RLSUniformResult{
+		Delta:      delta,
+		Assignment: a,
+		LB:         lb,
+		Cap:        cap,
+		Cmax:       Cmax(p, q, a),
+		Mmax:       Mmax(s, q, a),
+	}, nil
+}

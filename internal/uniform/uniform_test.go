@@ -1,0 +1,237 @@
+package uniform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"storagesched/internal/model"
+)
+
+func TestSpeedsValidate(t *testing.T) {
+	if err := (Speeds{1, 2, 3}).Validate(); err != nil {
+		t.Errorf("valid speeds rejected: %v", err)
+	}
+	if err := (Speeds{}).Validate(); err == nil {
+		t.Error("empty speeds accepted")
+	}
+	if err := (Speeds{1, 0}).Validate(); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestSpeedsMinMaxSpread(t *testing.T) {
+	q := Speeds{2, 1, 4}
+	if q.Min() != 1 || q.Max() != 4 || q.Spread() != 4 {
+		t.Errorf("min/max/spread = %d/%d/%g", q.Min(), q.Max(), q.Spread())
+	}
+}
+
+func TestRatComparisons(t *testing.T) {
+	// 3/2 < 5/3? 9 < 10 yes.
+	a := Rat{Num: 3, Den: 2}
+	b := Rat{Num: 5, Den: 3}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("3/2 < 5/3 failed")
+	}
+	if !a.LessEq(a) {
+		t.Error("LessEq not reflexive")
+	}
+	if a.Float() != 1.5 {
+		t.Errorf("Float = %g", a.Float())
+	}
+}
+
+func TestCmaxUniformExact(t *testing.T) {
+	// Two machines with speeds 1 and 2; tasks 4 and 4.
+	p := []model.Time{4, 4}
+	q := Speeds{1, 2}
+	// Both on fast machine: 8/2 = 4. Split: max(4/1, 4/2) = 4. One
+	// each reversed: same by symmetry.
+	a := model.Assignment{1, 1}
+	if got := Cmax(p, q, a); got.Float() != 4 {
+		t.Errorf("Cmax = %g, want 4", got.Float())
+	}
+}
+
+func TestCmaxLB(t *testing.T) {
+	p := []model.Time{6, 2}
+	q := Speeds{1, 3}
+	// Area: 8/4 = 2. Longest: 6/3 = 2. LB = 2.
+	lb := CmaxLB(p, q)
+	if lb.Float() != 2 {
+		t.Errorf("CmaxLB = %g, want 2", lb.Float())
+	}
+}
+
+func TestListUniformPrefersFastMachine(t *testing.T) {
+	p := []model.Time{10}
+	q := Speeds{1, 5}
+	a := ListUniform(p, q, []int{0})
+	if a[0] != 1 {
+		t.Errorf("task went to machine %d, want the fast one", a[0])
+	}
+}
+
+func TestLPTUniformReasonable(t *testing.T) {
+	// Work 12 on speeds (1, 2): ideal area bound = 12/3 = 4.
+	p := []model.Time{6, 3, 2, 1}
+	q := Speeds{1, 2}
+	a := LPTUniform(p, q)
+	got := Cmax(p, q, a)
+	lb := CmaxLB(p, q)
+	if got.Float() > 2*lb.Float() {
+		t.Errorf("LPTUniform Cmax %g > 2*LB %g", got.Float(), lb.Float())
+	}
+}
+
+func randUniform(rng *rand.Rand, maxN, maxM int) (*model.Instance, Speeds) {
+	n := 1 + rng.Intn(maxN)
+	m := 1 + rng.Intn(maxM)
+	p := make([]model.Time, n)
+	s := make([]model.Mem, n)
+	for i := 0; i < n; i++ {
+		p[i] = rng.Int63n(100) + 1
+		s[i] = rng.Int63n(100)
+	}
+	q := make(Speeds, m)
+	for j := range q {
+		q[j] = rng.Int63n(7) + 1
+	}
+	return model.NewInstance(m, p, s), q
+}
+
+func TestSBOUniformValidation(t *testing.T) {
+	in := model.NewInstance(2, []model.Time{1}, []model.Mem{1})
+	if _, err := SBOUniform(in, Speeds{1}, 1); err == nil {
+		t.Error("speed/machine mismatch accepted")
+	}
+	if _, err := SBOUniform(in, Speeds{1, 2}, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := SBOUniform(in, Speeds{1, 0}, 1); err == nil {
+		t.Error("bad speeds accepted")
+	}
+}
+
+// The derived guarantees: Cmax ≤ (1+∆)·C and Mmax ≤ (1+Q/∆)·M.
+func TestPropertySBOUniformGuarantees(t *testing.T) {
+	deltas := []float64{0.5, 1, 2, 4}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, q := randUniform(rng, 40, 6)
+		delta := deltas[rng.Intn(len(deltas))]
+		res, err := SBOUniform(in, q, delta)
+		if err != nil {
+			return false
+		}
+		if in.ValidateAssignment(res.Assignment) != nil {
+			return false
+		}
+		if res.Cmax.Float() > res.CmaxBound()+1e-9 {
+			return false
+		}
+		if res.M > 0 && float64(res.Mmax) > res.MmaxBound()+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With all speeds equal the memory guarantee collapses back to the
+// identical-machine Property 2 bound (Q = 1).
+func TestSBOUniformIdenticalSpeedsMatchesPaperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		in, _ := randUniform(rng, 30, 5)
+		q := make(Speeds, in.M)
+		for j := range q {
+			q[j] = 3
+		}
+		for _, delta := range []float64{0.5, 1, 2} {
+			res, err := SBOUniform(in, q, delta)
+			if err != nil {
+				t.Fatalf("SBOUniform: %v", err)
+			}
+			if res.M > 0 && float64(res.Mmax) > (1+1/delta)*float64(res.M)+1e-9 {
+				t.Errorf("trial %d delta=%g: identical-speed memory bound broken", trial, delta)
+			}
+		}
+	}
+}
+
+func TestRLSUniformMemoryGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		in, q := randUniform(rng, 30, 5)
+		for _, delta := range []float64{2, 3, 6} {
+			res, err := RLSUniform(in, q, delta)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if res.Mmax > res.Cap {
+				t.Errorf("trial %d: Mmax %d > cap %d", trial, res.Mmax, res.Cap)
+			}
+			if in.ValidateAssignment(res.Assignment) != nil {
+				t.Errorf("trial %d: invalid assignment", trial)
+			}
+		}
+	}
+}
+
+func TestRLSUniformValidation(t *testing.T) {
+	in := model.NewInstance(2, []model.Time{1}, []model.Mem{1})
+	if _, err := RLSUniform(in, Speeds{1, 1}, 1.5); err == nil {
+		t.Error("delta < 2 accepted")
+	}
+	if _, err := RLSUniform(in, Speeds{1}, 3); err == nil {
+		t.Error("speed/machine mismatch accepted")
+	}
+}
+
+// Greedy earliest-completion is within the classical factor-2 of the
+// area/longest lower bound when run in LPT order.
+func TestPropertyLPTUniformWithinTwiceLB(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, q := randUniform(rng, 40, 6)
+		a := LPTUniform(in.P(), q)
+		got := Cmax(in.P(), q, a)
+		lb := CmaxLB(in.P(), q)
+		return got.Float() <= 2*lb.Float()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exactness of the rational comparisons: Cmax over random assignments
+// agrees with a float recomputation within tolerance, and the chosen
+// max is never smaller than any machine's finish time.
+func TestPropertyRationalCmaxConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, q := randUniform(rng, 25, 5)
+		a := make(model.Assignment, in.N())
+		for i := range a {
+			a[i] = rng.Intn(in.M)
+		}
+		got := Cmax(in.P(), q, a)
+		loads := make([]int64, in.M)
+		for i, j := range a {
+			loads[j] += in.Tasks[i].P
+		}
+		for j, l := range loads {
+			if float64(l)/float64(q[j]) > got.Float()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

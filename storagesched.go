@@ -1,0 +1,237 @@
+// Package storagesched is a Go implementation of the algorithms of
+// Saule, Dutot and Mounié, "Scheduling with Storage Constraints"
+// (IPDPS 2008): bi-objective scheduling of tasks on identical
+// processors minimizing both the makespan Cmax and the maximum
+// cumulative memory occupation Mmax.
+//
+// The package exposes, over the internal substrates:
+//
+//   - the task/instance/schedule model (independent tasks and DAGs),
+//   - SBO∆ (Algorithm 1), the ((1+∆)ρ1, (1+1/∆)ρ2)-approximation for
+//     independent tasks built from two single-objective sub-algorithms,
+//   - RLS∆ (Algorithm 2), the (2+1/(∆−2)−(∆−1)/(m(∆−2)), ∆)-
+//     approximation for precedence-constrained tasks, including the
+//     tri-objective SPT variant of Corollary 4,
+//   - the Section 7 constrained solvers for "min Cmax s.t. Mmax ≤ M",
+//   - the P||Cmax toolbox (list scheduling, LPT, Multifit, the
+//     Hochbaum–Shmoys PTAS and exact solvers),
+//   - exact Pareto-front enumeration for small instances and the
+//     Section 4 hardness instances,
+//   - deterministic workload generators and ASCII Gantt rendering.
+//
+// Quickstart:
+//
+//	in := storagesched.NewInstance(4,
+//		[]storagesched.Time{9, 4, 6, 2},
+//		[]storagesched.Mem{3, 8, 1, 5})
+//	res, err := storagesched.SBOWithLPT(in, 1.0)
+//	// res.Assignment places each task; res.Cmax/res.Mmax are achieved.
+package storagesched
+
+import (
+	"io"
+
+	"storagesched/internal/bounds"
+	"storagesched/internal/core"
+	"storagesched/internal/dag"
+	"storagesched/internal/gantt"
+	"storagesched/internal/gen"
+	"storagesched/internal/makespan"
+	"storagesched/internal/model"
+	"storagesched/internal/pareto"
+)
+
+// Model types.
+type (
+	// Time is an integer processing-time quantity.
+	Time = model.Time
+	// Mem is an integer storage quantity.
+	Mem = model.Mem
+	// Task is one task (ID, processing time P, storage size S).
+	Task = model.Task
+	// Instance is a set of independent tasks on M identical processors.
+	Instance = model.Instance
+	// Assignment maps task index to processor.
+	Assignment = model.Assignment
+	// Schedule is a timed schedule (assignment plus start times).
+	Schedule = model.Schedule
+	// Value is a point (Cmax, Mmax) in objective space.
+	Value = model.Value
+	// Graph is a task DAG for the precedence-constrained problem.
+	Graph = dag.Graph
+)
+
+// NewInstance builds an independent-task instance from parallel
+// processing-time and storage vectors.
+func NewInstance(m int, p []Time, s []Mem) *Instance { return model.NewInstance(m, p, s) }
+
+// ReadInstanceJSON decodes an instance from JSON.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) { return model.ReadInstanceJSON(r) }
+
+// NewGraph builds a task DAG with no arcs; add precedence with
+// (*Graph).AddEdge(u, v) meaning u must complete before v starts.
+func NewGraph(m int, p []Time, s []Mem) *Graph { return dag.New(m, p, s) }
+
+// GraphFromInstance wraps independent tasks as an edgeless DAG.
+func GraphFromInstance(in *Instance) *Graph { return dag.FromInstance(in) }
+
+// Single-objective P||Cmax algorithms, usable as SBO sub-algorithms.
+type (
+	// MakespanAlgorithm assigns abstract sizes to processors.
+	MakespanAlgorithm = makespan.Algorithm
+	// ListScheduling is Graham's 2−1/m list scheduling.
+	ListScheduling = makespan.ListScheduling
+	// LPT is longest-processing-time-first, 4/3−1/(3m).
+	LPT = makespan.LPT
+	// LDM is the Karmarkar–Karp largest differencing method.
+	LDM = makespan.LDM
+	// Multifit is the 13/11 MULTIFIT algorithm.
+	Multifit = makespan.Multifit
+	// PTAS is the Hochbaum–Shmoys dual-approximation scheme (1+ε).
+	PTAS = makespan.PTAS
+	// ExactDP solves P||Cmax exactly for n ≤ 24 (exponential).
+	ExactDP = makespan.ExactDP
+	// BranchAndBound solves P||Cmax exactly with DFS pruning.
+	BranchAndBound = makespan.BranchAndBound
+)
+
+// SBO results and runners (Algorithm 1).
+type SBOResult = core.SBOResult
+
+// SBO runs Algorithm 1 with explicit sub-algorithms for the makespan
+// (algC, a ρ1-approximation) and memory (algM, ρ2) schedules.
+func SBO(in *Instance, delta float64, algC, algM MakespanAlgorithm) (*SBOResult, error) {
+	return core.SBO(in, delta, algC, algM)
+}
+
+// SBOWithLS runs SBO∆ with Graham list scheduling on both objectives.
+func SBOWithLS(in *Instance, delta float64) (*SBOResult, error) { return core.SBOWithLS(in, delta) }
+
+// SBOWithLPT runs SBO∆ with LPT on both objectives.
+func SBOWithLPT(in *Instance, delta float64) (*SBOResult, error) { return core.SBOWithLPT(in, delta) }
+
+// SBOWithPTAS runs SBO∆ with the PTAS on both objectives — the
+// Corollary 1 configuration (1+∆+ε, 1+1/∆+ε).
+func SBOWithPTAS(in *Instance, delta, eps float64) (*SBOResult, error) {
+	return core.SBOWithPTAS(in, delta, eps)
+}
+
+// SBORatio returns ((1+∆)ρ1, (1+1/∆)ρ2), the Properties 1–2 pair.
+func SBORatio(delta, rho1, rho2 float64) (float64, float64) { return core.SBORatio(delta, rho1, rho2) }
+
+// RLS results, orders and runners (Algorithm 2).
+type (
+	// RLSResult is one RLS∆ run with its analysis bookkeeping.
+	RLSResult = core.RLSResult
+	// TieBreak selects the total order used to break start-time ties.
+	TieBreak = core.TieBreak
+)
+
+// Tie-break orders for RLS.
+const (
+	TieByID        = core.TieByID
+	TieSPT         = core.TieSPT
+	TieLPT         = core.TieLPT
+	TieBottomLevel = core.TieBottomLevel
+)
+
+// RLS runs Restricted List Scheduling on a task DAG with ∆ ≥ 2.
+func RLS(g *Graph, delta float64, tie TieBreak) (*RLSResult, error) { return core.RLS(g, delta, tie) }
+
+// RLSIndependent runs the Section 5.2 independent-task variant (use
+// TieSPT for the tri-objective guarantee of Corollary 4).
+func RLSIndependent(in *Instance, delta float64, tie TieBreak) (*RLSResult, error) {
+	return core.RLSIndependent(in, delta, tie)
+}
+
+// RLSCmaxRatio returns the Lemma 5 makespan guarantee for ∆ > 2.
+func RLSCmaxRatio(delta float64, m int) float64 { return core.RLSCmaxRatio(delta, m) }
+
+// RLSSumCiRatio returns the Corollary 4 ΣCi guarantee, 2 + 1/(∆−2).
+func RLSSumCiRatio(delta float64) float64 { return core.RLSSumCiRatio(delta) }
+
+// Constrained solvers (Section 7).
+var (
+	// ErrInfeasible: the memory budget is below the Graham lower
+	// bound, so no schedule exists.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrNotCertified: no schedule found although one may exist
+	// (budget in the [LB, 2·LB) band).
+	ErrNotCertified = core.ErrNotCertified
+)
+
+// ConstrainedDAG schedules a DAG under a hard memory budget.
+func ConstrainedDAG(g *Graph, budget Mem, tie TieBreak) (*RLSResult, error) {
+	return core.ConstrainedDAG(g, budget, tie)
+}
+
+// ConstrainedIndependent solves "min Cmax s.t. Mmax ≤ budget" on
+// independent tasks via the SBO parameter search and capped RLS,
+// returning the better feasible assignment.
+func ConstrainedIndependent(in *Instance, budget Mem) (Assignment, Value, error) {
+	return core.ConstrainedIndependent(in, budget)
+}
+
+// Lower bounds.
+type BoundsRecord = bounds.Record
+
+// BoundsForInstance computes every lower bound for an instance.
+func BoundsForInstance(in *Instance) BoundsRecord { return bounds.ForInstance(in) }
+
+// BoundsForGraph computes every lower bound for a DAG.
+func BoundsForGraph(g *Graph) (BoundsRecord, error) { return bounds.ForGraph(g) }
+
+// MemLB returns the Graham memory lower bound max(max s, ⌈Σs/m⌉).
+func MemLB(s []Mem, m int) Mem { return bounds.MemLB(s, m) }
+
+// Pareto enumeration (small instances).
+type ParetoPoint = pareto.Point
+
+// ParetoFront enumerates the exact Pareto front (n ≤ 24).
+func ParetoFront(in *Instance) ([]ParetoPoint, error) { return pareto.Front(in) }
+
+// Rendering.
+type GanttOptions = gantt.Options
+
+// RenderGantt writes an ASCII Gantt chart of a timed schedule.
+func RenderGantt(w io.Writer, sc *Schedule, opts GanttOptions) error {
+	return gantt.Render(w, sc, opts)
+}
+
+// RenderAssignment renders an independent-task assignment.
+func RenderAssignment(w io.Writer, in *Instance, a Assignment, opts GanttOptions) error {
+	return gantt.RenderAssignment(w, in, a, opts)
+}
+
+// ScheduleFromAssignment packs an assignment into a timed schedule.
+func ScheduleFromAssignment(in *Instance, a Assignment) *Schedule {
+	return model.FromAssignment(in, a)
+}
+
+// ScheduleFromAssignmentSPT packs an assignment running each
+// processor's tasks shortest-first, which minimises ΣCi for the fixed
+// assignment.
+func ScheduleFromAssignmentSPT(in *Instance, a Assignment) *Schedule {
+	return model.FromAssignmentSPT(in, a)
+}
+
+// Generators (deterministic; see internal/gen for the full set).
+
+// GenUniform draws n tasks with uniform independent p and s.
+func GenUniform(n, m int, seed int64) *Instance { return gen.Uniform(n, m, seed) }
+
+// GenEmbeddedCode draws the multi-SoC code-placement mix.
+func GenEmbeddedCode(n, m int, seed int64) *Instance { return gen.EmbeddedCode(n, m, seed) }
+
+// GenGridBatch draws the grid-physics batch mix.
+func GenGridBatch(n, m int, seed int64) *Instance { return gen.GridBatch(n, m, seed) }
+
+// GenLayeredDAG builds a random layered task graph.
+func GenLayeredDAG(m, layers, width int, seed int64) *Graph {
+	return gen.LayeredDAG(m, layers, width, seed)
+}
+
+// GenForkJoin builds a staged fork-join task graph.
+func GenForkJoin(m, stages, width int, seed int64) *Graph {
+	return gen.ForkJoin(m, stages, width, seed)
+}

@@ -1,0 +1,133 @@
+package storagesched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The facade is exercised end to end the way README's quickstart does.
+func TestFacadeQuickstart(t *testing.T) {
+	in := NewInstance(4,
+		[]Time{9, 4, 6, 2, 7, 3, 8, 5},
+		[]Mem{3, 8, 1, 5, 2, 9, 4, 6})
+	res, err := SBOWithLPT(in, 1.0)
+	if err != nil {
+		t.Fatalf("SBOWithLPT: %v", err)
+	}
+	if err := in.ValidateAssignment(res.Assignment); err != nil {
+		t.Fatalf("assignment invalid: %v", err)
+	}
+	if float64(res.Cmax) > 2*float64(res.C) || (res.M > 0 && float64(res.Mmax) > 2*float64(res.M)) {
+		t.Errorf("SBO guarantees violated at delta=1")
+	}
+}
+
+func TestFacadeRLSOnDAG(t *testing.T) {
+	g := NewGraph(2, []Time{3, 1, 4, 1, 5}, []Mem{2, 2, 2, 2, 2})
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 4)
+	res, err := RLS(g, 3, TieBottomLevel)
+	if err != nil {
+		t.Fatalf("RLS: %v", err)
+	}
+	if err := res.Schedule.Validate(g.PredLists()); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	if res.Mmax > 3*MemLB(g.S, g.M) {
+		t.Errorf("Corollary 2 violated")
+	}
+}
+
+func TestFacadeConstrained(t *testing.T) {
+	in := GenEmbeddedCode(40, 4, 7)
+	lb := MemLB(in.S(), in.M)
+	a, v, err := ConstrainedIndependent(in, 2*lb)
+	if err != nil {
+		t.Fatalf("ConstrainedIndependent: %v", err)
+	}
+	if v.Mmax > 2*lb {
+		t.Errorf("budget exceeded: %d > %d", v.Mmax, 2*lb)
+	}
+	if err := in.ValidateAssignment(a); err != nil {
+		t.Fatalf("assignment invalid: %v", err)
+	}
+	// Budget below LB must fail loudly.
+	if _, _, err := ConstrainedIndependent(in, lb-1); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}
+
+func TestFacadeParetoAndRender(t *testing.T) {
+	in := NewInstance(2, []Time{4, 2, 2}, []Mem{1, 4, 4})
+	pts, err := ParetoFront(in)
+	if err != nil {
+		t.Fatalf("ParetoFront: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("front size %d, want 2 (Figure 1 instance)", len(pts))
+	}
+	var buf bytes.Buffer
+	if err := RenderAssignment(&buf, in, pts[0].Assignment, GanttOptions{Width: 30, ShowMemory: true}); err != nil {
+		t.Fatalf("RenderAssignment: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Cmax=") {
+		t.Errorf("render output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFacadeRatios(t *testing.T) {
+	c, m := SBORatio(1, 1, 1)
+	if c != 2 || m != 2 {
+		t.Errorf("SBORatio(1,1,1) = (%g,%g)", c, m)
+	}
+	if RLSCmaxRatio(3, 4) != 2.5 {
+		t.Errorf("RLSCmaxRatio(3,4) = %g", RLSCmaxRatio(3, 4))
+	}
+	if RLSSumCiRatio(4) != 2.5 {
+		t.Errorf("RLSSumCiRatio(4) = %g", RLSSumCiRatio(4))
+	}
+}
+
+func TestFacadeBounds(t *testing.T) {
+	in := GenUniform(30, 4, 3)
+	rec := BoundsForInstance(in)
+	if rec.CmaxLB <= 0 || rec.MmaxLB < 0 {
+		t.Errorf("degenerate bounds: %+v", rec)
+	}
+	g := GraphFromInstance(in)
+	grec, err := BoundsForGraph(g)
+	if err != nil {
+		t.Fatalf("BoundsForGraph: %v", err)
+	}
+	if grec.CmaxLB != rec.CmaxLB {
+		t.Errorf("edgeless graph bound %d != instance bound %d", grec.CmaxLB, rec.CmaxLB)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if err := GenGridBatch(25, 3, 1).Validate(); err != nil {
+		t.Errorf("GenGridBatch: %v", err)
+	}
+	if err := GenLayeredDAG(3, 4, 3, 1).Validate(); err != nil {
+		t.Errorf("GenLayeredDAG: %v", err)
+	}
+	if err := GenForkJoin(3, 2, 4, 1).Validate(); err != nil {
+		t.Errorf("GenForkJoin: %v", err)
+	}
+}
+
+func TestFacadeExactSolvers(t *testing.T) {
+	sizes := []int64{7, 5, 4, 3, 1}
+	opt, a := ExactDP{}.Solve(sizes, 2)
+	if opt != 10 {
+		t.Errorf("ExactDP opt = %d, want 10", opt)
+	}
+	_ = a
+	optB, _ := BranchAndBound{}.Solve(sizes, 2)
+	if optB != opt {
+		t.Errorf("BnB %d != DP %d", optB, opt)
+	}
+}

@@ -9,10 +9,13 @@ package storagesched
 //	go test -bench=BenchmarkFIG3 -benchmem   # one figure only
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"testing"
 
 	"storagesched/internal/core"
+	"storagesched/internal/engine"
 	"storagesched/internal/exp"
 	"storagesched/internal/gen"
 	"storagesched/internal/hardness"
@@ -64,6 +67,48 @@ func BenchmarkEXT1(b *testing.B) { benchExperiment(b, "EXT1") }
 func BenchmarkEXT2(b *testing.B) { benchExperiment(b, "EXT2") }
 func BenchmarkEXT3(b *testing.B) { benchExperiment(b, "EXT3") }
 func BenchmarkEXT4(b *testing.B) { benchExperiment(b, "EXT4") }
+
+// Sweep engine.
+
+func BenchmarkSWEEP(b *testing.B) { benchExperiment(b, "SWEEP") }
+
+// benchSweep runs the acceptance workload — a 32-point δ-grid over a
+// 200-task instance, SBO plus all four RLS tie-breaks — at a fixed
+// worker count. Compare the serial and parallel variants for the
+// engine's speedup (parallel is expected ≥ 2× serial on ≥ 4 cores):
+//
+//	go test -bench 'BenchmarkSweep_(Serial|Parallel)' -benchtime=2s
+func benchSweep(b *testing.B, workers int) {
+	in := gen.Uniform(200, 16, 1)
+	cfg := engine.Config{
+		Deltas:  engine.GeometricGrid(0.25, 8, 32),
+		Workers: workers,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Sweep(ctx, in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweep_Serial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweep_Parallel(b *testing.B) { benchSweep(b, runtime.NumCPU()) }
+
+func BenchmarkSweep_Parallel_n1000(b *testing.B) {
+	in := gen.Uniform(1000, 32, 1)
+	cfg := engine.Config{Deltas: engine.GeometricGrid(0.25, 8, 32)}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Sweep(ctx, in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // Algorithm microbenchmarks.
 

@@ -19,7 +19,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the experiment index and exit")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	workers := flag.Int("workers", 0, "worker count for engine-backed sweeps (0 = one per CPU)")
 	flag.Parse()
+
+	exp.SetSweepWorkers(*workers)
 
 	if *list {
 		for _, e := range exp.Registry() {

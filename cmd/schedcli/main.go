@@ -5,12 +5,18 @@
 //	schedcli -in instance.json -alg rls -delta 3 -tie spt
 //	schedcli -in instance.json -alg constrained -budget 120
 //
+// The sweep subcommand runs the parallel δ-sweep engine and prints the
+// approximate Pareto front with per-point provenance:
+//
+//	schedcli sweep -in instance.json -dmin 0.25 -dmax 8 -points 32
+//
 // The instance format is the one produced by geninstance:
 //
 //	{"m": 2, "tasks": [{"id":0,"p":4,"s":1}, ...]}
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +26,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := runSweep(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "schedcli: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	inPath := flag.String("in", "", "instance JSON file (default: stdin)")
 	alg := flag.String("alg", "sbo", "algorithm: sbo | rls | lpt | ls | constrained")
 	delta := flag.Float64("delta", 1.0, "SBO/RLS parameter delta")
@@ -35,17 +49,86 @@ func main() {
 	}
 }
 
-func run(inPath, alg string, delta float64, tieName string, budget int64, showGantt bool, width int) error {
+// runSweep implements the sweep subcommand.
+func runSweep(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	inPath := fs.String("in", "", "instance JSON file (default: stdin)")
+	dmin := fs.Float64("dmin", 0.25, "smallest delta of the grid")
+	dmax := fs.Float64("dmax", 8, "largest delta of the grid")
+	points := fs.Int("points", 32, "number of grid points")
+	gridKind := fs.String("grid", "geo", "grid spacing: geo | lin")
+	workers := fs.Int("workers", 0, "worker count (0 = one per CPU)")
+	noSBO := fs.Bool("no-sbo", false, "skip the SBO family")
+	noRLS := fs.Bool("no-rls", false, "skip the RLS family")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !(*dmin > 0) || *dmax < *dmin || *points < 1 {
+		return fmt.Errorf("invalid grid: dmin=%g dmax=%g points=%d", *dmin, *dmax, *points)
+	}
+	var grid []float64
+	switch *gridKind {
+	case "geo":
+		grid = sched.SweepGeometricGrid(*dmin, *dmax, *points)
+	case "lin":
+		grid = sched.SweepLinearGrid(*dmin, *dmax, *points)
+	default:
+		return fmt.Errorf("unknown grid spacing %q", *gridKind)
+	}
+
+	in, err := readInstance(*inPath)
+	if err != nil {
+		return err
+	}
+
+	res, err := sched.Sweep(context.Background(), in, sched.SweepConfig{
+		Deltas:  grid,
+		Workers: *workers,
+		SkipSBO: *noSBO,
+		SkipRLS: *noRLS,
+	})
+	if err != nil {
+		return err
+	}
+
+	failed := 0
+	for _, run := range res.Runs {
+		if run.Err != nil {
+			failed++
+		}
+	}
+	fmt.Fprintf(w, "instance: n=%d m=%d  lower bounds: Cmax >= %d, Mmax >= %d\n",
+		in.N(), in.M, res.Bounds.CmaxLB, res.Bounds.MmaxLB)
+	fmt.Fprintf(w, "sweep: %d runs over %d grid points (%d failed) -> %d front points\n\n",
+		len(res.Runs), *points, failed, len(res.Front))
+	fmt.Fprintf(w, "%-10s %-10s %-9s %-9s %s\n", "Cmax", "Mmax", "Cmax/LB", "Mmax/LB", "witness")
+	for _, p := range res.Front {
+		fmt.Fprintf(w, "%-10d %-10d %-9.4f %-9.4f %s\n",
+			p.Value.Cmax, p.Value.Mmax,
+			float64(p.Value.Cmax)/float64(res.Bounds.CmaxLB),
+			float64(p.Value.Mmax)/float64(res.Bounds.MmaxLB),
+			res.Runs[p.RunIndex].Label())
+	}
+	return nil
+}
+
+// readInstance decodes a JSON instance from the given file, or from
+// stdin when the path is empty.
+func readInstance(inPath string) (*sched.Instance, error) {
 	var r io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		r = f
 	}
-	in, err := sched.ReadInstanceJSON(r)
+	return sched.ReadInstanceJSON(r)
+}
+
+func run(inPath, alg string, delta float64, tieName string, budget int64, showGantt bool, width int) error {
+	in, err := readInstance(inPath)
 	if err != nil {
 		return err
 	}

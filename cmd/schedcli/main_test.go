@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	sched "storagesched"
@@ -46,6 +47,52 @@ func TestRunAlgorithms(t *testing.T) {
 	}
 	if err := run(path, "constrained", 1, "spt", 100, false, 40); err != nil {
 		t.Errorf("constrained: %v", err)
+	}
+}
+
+func TestRunSweepSubcommand(t *testing.T) {
+	path := writeInstance(t)
+	var buf strings.Builder
+	err := runSweep([]string{"-in", path, "-dmin", "0.5", "-dmax", "8", "-points", "16"}, &buf)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"lower bounds", "front points", "witness", "Cmax/LB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// Both spacings and family filters run end to end.
+	for _, extra := range [][]string{
+		{"-grid", "lin"},
+		{"-no-sbo"},
+		{"-no-rls"},
+		{"-workers", "2"},
+	} {
+		buf.Reset()
+		args := append([]string{"-in", path}, extra...)
+		if err := runSweep(args, &buf); err != nil {
+			t.Errorf("sweep %v: %v", extra, err)
+		}
+	}
+}
+
+func TestRunSweepRejectsBadInputs(t *testing.T) {
+	path := writeInstance(t)
+	var buf strings.Builder
+	cases := [][]string{
+		{"-in", path, "-dmin", "0"},
+		{"-in", path, "-dmin", "4", "-dmax", "2"},
+		{"-in", path, "-points", "0"},
+		{"-in", path, "-grid", "bogus"},
+		{"-in", path, "-no-sbo", "-no-rls"},
+		{"-in", filepath.Join(t.TempDir(), "missing.json")},
+	}
+	for _, args := range cases {
+		if err := runSweep(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module storagesched
+
+go 1.24

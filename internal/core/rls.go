@@ -113,6 +113,11 @@ func RLSSumCiRatio(delta float64) float64 {
 	return 2 + 1/(delta-2)
 }
 
+// MemCap returns the per-processor budget ⌊∆·LB⌋ that RLS∆ enforces,
+// exported for sweep engines that memoize LB per instance and derive
+// each grid point's cap from it.
+func MemCap(delta float64, lb model.Mem) model.Mem { return memCapFloor(delta, lb) }
+
 // memCapFloor computes ⌊∆·LB⌋ exactly (∆ is a float64, hence an exact
 // rational; LB can be as large as 2^40 in ε-scaled instances, so the
 // product is evaluated in big rationals rather than floats).
@@ -177,9 +182,9 @@ func (e ErrCapTooSmall) Error() string {
 	return fmt.Sprintf("core: task %d fits on no processor under memory cap %d", e.Task, e.Cap)
 }
 
-// tieRank precomputes the priority rank of every task for a tie-break
-// rule (lower rank = scheduled first on ties).
-func tieRank(g *dag.Graph, tie TieBreak) ([]int, error) {
+// tieOrder precomputes the scheduling priority order for a tie-break
+// rule: order[r] is the task scheduled r-th when all else is equal.
+func tieOrder(g *dag.Graph, tie TieBreak) ([]int, error) {
 	n := g.N()
 	order := make([]int, n)
 	for i := range order {
@@ -201,7 +206,17 @@ func tieRank(g *dag.Graph, tie TieBreak) ([]int, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown tie break %d", int(tie))
 	}
-	rank := make([]int, n)
+	return order, nil
+}
+
+// tieRank precomputes the priority rank of every task for a tie-break
+// rule (lower rank = scheduled first on ties).
+func tieRank(g *dag.Graph, tie TieBreak) ([]int, error) {
+	order, err := tieOrder(g, tie)
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]int, len(order))
 	for r, i := range order {
 		rank[i] = r
 	}
@@ -348,28 +363,31 @@ func RLSIndependentWithCap(in *model.Instance, cap model.Mem, tie TieBreak) (*RL
 }
 
 func rlsIndependentWithCap(in *model.Instance, cap model.Mem, tie TieBreak) (*RLSResult, error) {
-	g := dag.FromInstance(in)
-	rank, err := tieRank(g, tie)
+	order, err := tieOrder(dag.FromInstance(in), tie)
 	if err != nil {
 		return nil, err
 	}
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return rank[order[a]] < rank[order[b]] })
+	return rlsIndependentOrdered(in, order, cap)
+}
 
+// rlsIndependentOrdered is the Section 5.2 loop with a precomputed
+// scheduling order. It never mutates order, so prepared sweeps may run
+// it concurrently against a shared order slice.
+func rlsIndependentOrdered(in *model.Instance, order []int, cap model.Mem) (*RLSResult, error) {
 	n, m := in.N(), in.M
 	sc := model.NewSchedule(m, n)
-	copy(sc.P, g.P)
-	copy(sc.S, g.S)
+	for i, t := range in.Tasks {
+		sc.P[i] = t.P
+		sc.S[i] = t.S
+	}
 	load := make([]model.Time, m)
 	memsize := make([]model.Mem, m)
 	marked := make([]bool, m)
 	for _, i := range order {
+		t := in.Tasks[i]
 		proc := -1
 		for j := 0; j < m; j++ {
-			if memsize[j]+g.S[i] > cap {
+			if memsize[j]+t.S > cap {
 				continue
 			}
 			if proc == -1 || load[j] < load[proc] {
@@ -386,8 +404,8 @@ func rlsIndependentWithCap(in *model.Instance, cap model.Mem, tie TieBreak) (*RL
 		}
 		sc.Proc[i] = proc
 		sc.Start[i] = load[proc]
-		load[proc] += g.P[i]
-		memsize[proc] += g.S[i]
+		load[proc] += t.P
+		memsize[proc] += t.S
 	}
 	return &RLSResult{
 		Schedule: sc,
@@ -397,4 +415,61 @@ func rlsIndependentWithCap(in *model.Instance, cap model.Mem, tie TieBreak) (*RL
 		Mmax:     sc.Mmax(),
 		SumCi:    sc.SumCi(),
 	}, nil
+}
+
+// RLSPrepared memoizes the δ-independent work of RLSIndependent —
+// instance validation, the Graham memory lower bound, and the
+// tie-break orders — so a δ-sweep pays each exactly once per instance.
+// The prepared value is immutable after PrepareRLSIndependent and safe
+// for concurrent Run calls.
+type RLSPrepared struct {
+	in     *model.Instance
+	lb     model.Mem
+	orders map[TieBreak][]int
+}
+
+// PrepareRLSIndependent validates the instance and precomputes the
+// scheduling orders for the given tie-breaks (all four when none are
+// given).
+func PrepareRLSIndependent(in *model.Instance, ties ...TieBreak) (*RLSPrepared, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ties) == 0 {
+		ties = []TieBreak{TieByID, TieSPT, TieLPT, TieBottomLevel}
+	}
+	g := dag.FromInstance(in)
+	orders := make(map[TieBreak][]int, len(ties))
+	for _, tie := range ties {
+		if _, ok := orders[tie]; ok {
+			continue
+		}
+		order, err := tieOrder(g, tie)
+		if err != nil {
+			return nil, err
+		}
+		orders[tie] = order
+	}
+	return &RLSPrepared{in: in, lb: bounds.MemLB(in.S(), in.M), orders: orders}, nil
+}
+
+// LB returns the memoized Graham memory lower bound.
+func (prep *RLSPrepared) LB() model.Mem { return prep.lb }
+
+// Run executes one RLS∆ evaluation against the prepared state.
+func (prep *RLSPrepared) Run(delta float64, tie TieBreak) (*RLSResult, error) {
+	if delta < 2 {
+		return nil, fmt.Errorf("core: RLS delta = %g, need delta >= 2 (Lemma 4)", delta)
+	}
+	order, ok := prep.orders[tie]
+	if !ok {
+		return nil, fmt.Errorf("core: tie-break %s not prepared", tie)
+	}
+	res, err := rlsIndependentOrdered(prep.in, order, memCapFloor(delta, prep.lb))
+	if err != nil {
+		return nil, err
+	}
+	res.Delta = delta
+	res.LB = prep.lb
+	return res, nil
 }

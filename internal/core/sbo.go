@@ -62,25 +62,68 @@ func (r *SBOResult) MmaxBound() float64 { return (1 + 1/r.Delta) * float64(r.M) 
 // hardness instances use values up to 2^40) never suffer float
 // rounding.
 func SBO(in *model.Instance, delta float64, algC, algM makespan.Algorithm) (*SBOResult, error) {
-	if err := in.Validate(); err != nil {
+	prep, err := PrepareSBO(in, algC, algM)
+	if err != nil {
 		return nil, err
 	}
-	if delta <= 0 {
-		return nil, fmt.Errorf("core: SBO delta = %g, need delta > 0", delta)
+	return prep.Run(delta)
+}
+
+// SBOPrepared holds the δ-independent half of Algorithm 1: the two
+// single-objective sub-schedules π1 and π2 and their objective values C
+// and M. Only the merge (the threshold test per task) depends on ∆, so
+// a δ-sweep prepares once and runs the merge per grid point — the
+// sub-algorithm cost (the dominant cost with LPT, and overwhelmingly so
+// with the PTAS) is paid once per instance instead of once per run.
+// The prepared value is immutable after PrepareSBO and safe for
+// concurrent Run calls.
+type SBOPrepared struct {
+	in       *model.Instance
+	p        []model.Time
+	s        []model.Mem
+	pi1, pi2 model.Assignment
+	c        model.Time
+	m        model.Mem
+}
+
+// PrepareSBO validates the instance and runs the two sub-algorithms.
+func PrepareSBO(in *model.Instance, algC, algM makespan.Algorithm) (*SBOPrepared, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
 	}
 	p := in.P()
 	s := in.S()
 	pi1 := algC.Assign(p, in.M)
 	pi2 := algM.Assign(s, in.M)
-	c := in.Cmax(pi1)
-	m := in.Mmax(pi2)
+	return &SBOPrepared{
+		in:  in,
+		p:   p,
+		s:   s,
+		pi1: pi1,
+		pi2: pi2,
+		c:   in.Cmax(pi1),
+		m:   in.Mmax(pi2),
+	}, nil
+}
 
+// C returns Cmax(π1), the makespan of the time sub-schedule.
+func (prep *SBOPrepared) C() model.Time { return prep.c }
+
+// M returns Mmax(π2), the memory of the memory sub-schedule.
+func (prep *SBOPrepared) M() model.Mem { return prep.m }
+
+// Run performs the ∆-dependent merge of Algorithm 1.
+func (prep *SBOPrepared) Run(delta float64) (*SBOResult, error) {
+	if delta <= 0 {
+		return nil, fmt.Errorf("core: SBO delta = %g, need delta > 0", delta)
+	}
+	in := prep.in
 	res := &SBOResult{
 		Delta:           delta,
 		Assignment:      make(model.Assignment, in.N()),
 		FromMemSchedule: make([]bool, in.N()),
-		C:               c,
-		M:               m,
+		C:               prep.c,
+		M:               prep.m,
 	}
 
 	// deltaRat is exact: every float64 is a rational.
@@ -93,25 +136,25 @@ func SBO(in *model.Instance, delta float64, algC, algM makespan.Algorithm) (*SBO
 	tmp := new(big.Rat)
 	for i := range in.Tasks {
 		useMem := false
-		if m == 0 {
+		if prep.m == 0 {
 			// Perfect memory schedule exists (all s_i = 0); memory
 			// needs no help, keep every task on the time schedule.
 			useMem = false
 		} else {
 			// p_i/C < ∆·s_i/M  ⇔  p_i·M < ∆·s_i·C (C, M > 0).
-			lhs.SetInt64(p[i])
-			tmp.SetInt64(int64(m))
+			lhs.SetInt64(prep.p[i])
+			tmp.SetInt64(int64(prep.m))
 			lhs.Mul(lhs, tmp)
-			rhs.SetInt64(int64(s[i]))
-			tmp.SetInt64(c)
+			rhs.SetInt64(int64(prep.s[i]))
+			tmp.SetInt64(prep.c)
 			rhs.Mul(rhs, tmp)
 			rhs.Mul(rhs, deltaRat)
 			useMem = lhs.Cmp(rhs) < 0
 		}
 		if useMem {
-			res.Assignment[i] = pi2[i]
+			res.Assignment[i] = prep.pi2[i]
 		} else {
-			res.Assignment[i] = pi1[i]
+			res.Assignment[i] = prep.pi1[i]
 		}
 		res.FromMemSchedule[i] = useMem
 	}

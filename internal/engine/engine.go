@@ -1,0 +1,395 @@
+// Package engine runs parallel δ-sweeps of the paper's bi-objective
+// algorithms and assembles approximate Pareto fronts.
+//
+// The headline artifact of Saule, Dutot and Mounié is a family of
+// (1+δ, 1+1/δ)-approximate schedules parameterized by δ; sweeping δ
+// over a grid and keeping the non-dominated (Cmax, Mmax) outcomes
+// yields an approximate Pareto front for instances far beyond the
+// reach of the exact enumerator (internal/pareto caps at 24 tasks).
+// This package is that sweep engine:
+//
+//   - every (algorithm, δ) pair on the grid is an independent job,
+//     executed by a pool of Config.Workers goroutines (default
+//     runtime.NumCPU());
+//   - per-instance quantities — validation, the Graham lower bounds,
+//     the SBO sub-schedules π1/π2 and the RLS tie-break orders — are
+//     memoized once per sweep (core.SBOPrepared, core.RLSPrepared)
+//     instead of being recomputed once per run;
+//   - results land at their job's index, so Result.Runs and the front
+//     are deterministic regardless of goroutine interleaving;
+//   - the sweep honours context cancellation between jobs.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"storagesched/internal/bounds"
+	"storagesched/internal/core"
+	"storagesched/internal/makespan"
+	"storagesched/internal/model"
+)
+
+// Algorithm identifies which algorithm family produced a sweep run.
+type Algorithm int
+
+const (
+	// AlgSBO is Algorithm 1 (independent tasks, Section 3).
+	AlgSBO Algorithm = iota
+	// AlgRLS is the Section 5.2 independent-task variant of
+	// Algorithm 2, one run per configured tie-break.
+	AlgRLS
+)
+
+// String implements fmt.Stringer for tables and provenance labels.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgSBO:
+		return "SBO"
+	case AlgRLS:
+		return "RLS"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// DefaultTies is the RLS tie-break set swept when Config.Ties is nil.
+var DefaultTies = []core.TieBreak{core.TieByID, core.TieSPT, core.TieLPT, core.TieBottomLevel}
+
+// Config parameterizes one sweep.
+type Config struct {
+	// Deltas is the δ-grid. Required non-empty; every entry must be
+	// finite and > 0. RLS runs are generated only for entries ≥ 2
+	// (Lemma 4 gives no guarantee below that, and the algorithm
+	// rejects such δ); SBO covers the full grid.
+	Deltas []float64
+
+	// Workers bounds the number of concurrent evaluations; 0 or
+	// negative means runtime.NumCPU().
+	Workers int
+
+	// AlgC and AlgM are the SBO sub-algorithms for the makespan and
+	// memory schedules; nil defaults to LPT (the experiments'
+	// workhorse configuration).
+	AlgC, AlgM makespan.Algorithm
+
+	// Ties selects the RLS tie-breaks to sweep; nil means DefaultTies.
+	Ties []core.TieBreak
+
+	// SkipSBO / SkipRLS exclude an algorithm family from the sweep.
+	SkipSBO bool
+	SkipRLS bool
+}
+
+// Run is one algorithm evaluation at one grid point. Runs appear in
+// Result.Runs in grid-major order (all algorithms at Deltas[0], then
+// Deltas[1], ...) with SBO before the RLS tie-breaks at each δ —
+// independent of which worker executed them.
+type Run struct {
+	Algorithm Algorithm
+	// Tie is the RLS tie-break; meaningful only when Algorithm is
+	// AlgRLS.
+	Tie   core.TieBreak
+	Delta float64
+
+	// Value is the achieved (Cmax, Mmax) point and Assignment its
+	// witness. Unset when Err is non-nil.
+	Value      model.Value
+	Assignment model.Assignment
+
+	// SBO / RLS retain the full per-run analysis record of the
+	// algorithm that ran (exactly one is non-nil on success).
+	SBO *core.SBOResult
+	RLS *core.RLSResult
+
+	// Err is a per-run failure (for example ErrCapTooSmall from a
+	// constrained variant); the sweep continues past it and the run
+	// is excluded from the front.
+	Err error
+}
+
+// Label renders a short provenance tag such as "SBO(δ=1)" or
+// "RLS(δ=3,SPT)".
+func (r Run) Label() string {
+	if r.Algorithm == AlgRLS {
+		return fmt.Sprintf("RLS(δ=%.4g,%s)", r.Delta, r.Tie)
+	}
+	return fmt.Sprintf("SBO(δ=%.4g)", r.Delta)
+}
+
+// FrontPoint is one point of the assembled approximate Pareto front
+// with the index (into Result.Runs) of the run that achieved it. When
+// several runs achieve the same value, the lowest index wins, keeping
+// the witness deterministic.
+type FrontPoint struct {
+	Value    model.Value
+	RunIndex int
+}
+
+// Result is the outcome of one sweep.
+type Result struct {
+	// Bounds is the per-instance lower-bound record, computed once
+	// and shared by every run of the sweep.
+	Bounds bounds.Record
+
+	// Runs holds every evaluation in deterministic job order.
+	Runs []Run
+
+	// Front is the non-dominated hull of the successful runs'
+	// values, sorted by increasing Cmax (hence decreasing Mmax).
+	Front []FrontPoint
+}
+
+// FrontValues extracts just the objective values of the front.
+func (res *Result) FrontValues() []model.Value {
+	vs := make([]model.Value, len(res.Front))
+	for i, p := range res.Front {
+		vs[i] = p.Value
+	}
+	return vs
+}
+
+// LinearGrid returns n evenly spaced δ values covering [lo, hi]. It
+// panics if lo <= 0, hi < lo, or n < 1 (programmer error: δ must be
+// positive and the grid non-empty).
+func LinearGrid(lo, hi float64, n int) []float64 {
+	checkGrid(lo, hi, n)
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// GeometricGrid returns n geometrically spaced δ values covering
+// [lo, hi] — the natural grid for δ, whose two guarantees trade off as
+// (1+δ) against (1+1/δ). Panics on the same conditions as LinearGrid.
+func GeometricGrid(lo, hi float64, n int) []float64 {
+	checkGrid(lo, hi, n)
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	out[n-1] = hi
+	return out
+}
+
+func checkGrid(lo, hi float64, n int) {
+	if !(lo > 0) || hi < lo || n < 1 {
+		panic(fmt.Sprintf("engine: invalid grid lo=%g hi=%g n=%d", lo, hi, n))
+	}
+}
+
+// testHookAfterRun, when non-nil, is invoked by workers after each
+// completed job — tests use it to cancel a sweep mid-flight
+// deterministically.
+var testHookAfterRun func()
+
+// job is one scheduled evaluation; index is its slot in Result.Runs.
+type job struct {
+	alg   Algorithm
+	tie   core.TieBreak
+	delta float64
+}
+
+// Sweep evaluates the configured algorithms over the δ-grid with a
+// worker pool and assembles the approximate Pareto front. On context
+// cancellation it abandons the remaining jobs and returns ctx.Err().
+func Sweep(ctx context.Context, in *model.Instance, cfg Config) (*Result, error) {
+	jobs, err := buildJobs(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Memoized per-instance state, computed once for the whole sweep.
+	// At least one prep always runs (buildJobs rejects an empty
+	// selection) and each validates the instance, so ForInstance
+	// below only sees well-formed input.
+	var prepSBO *core.SBOPrepared
+	if !cfg.SkipSBO {
+		algC, algM := cfg.AlgC, cfg.AlgM
+		if algC == nil {
+			algC = makespan.LPT{}
+		}
+		if algM == nil {
+			algM = makespan.LPT{}
+		}
+		prepSBO, err = core.PrepareSBO(in, algC, algM)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var prepRLS *core.RLSPrepared
+	if hasRLS(jobs) {
+		ties := cfg.Ties
+		if ties == nil {
+			ties = DefaultTies
+		}
+		prepRLS, err = core.PrepareRLSIndependent(in, ties...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rec := bounds.ForInstance(in)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	runs := make([]Run, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				runs[i] = execute(jobs[i], prepSBO, prepRLS)
+				if testHookAfterRun != nil {
+					testHookAfterRun()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	return &Result{Bounds: rec, Runs: runs, Front: assembleFront(runs)}, nil
+}
+
+// buildJobs lays out the deterministic job list: grid-major, SBO then
+// the tie-breaks at each δ.
+func buildJobs(cfg Config) ([]job, error) {
+	if len(cfg.Deltas) == 0 {
+		return nil, fmt.Errorf("engine: empty delta grid")
+	}
+	for _, d := range cfg.Deltas {
+		if !(d > 0) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("engine: delta = %g, need finite delta > 0", d)
+		}
+	}
+	if cfg.SkipSBO && cfg.SkipRLS {
+		return nil, fmt.Errorf("engine: both algorithm families skipped")
+	}
+	ties := cfg.Ties
+	if ties == nil {
+		ties = DefaultTies
+	}
+	var jobs []job
+	for _, d := range cfg.Deltas {
+		if !cfg.SkipSBO {
+			jobs = append(jobs, job{alg: AlgSBO, delta: d})
+		}
+		if !cfg.SkipRLS && d >= 2 {
+			for _, tie := range ties {
+				jobs = append(jobs, job{alg: AlgRLS, tie: tie, delta: d})
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("engine: sweep selects no runs (RLS needs some delta >= 2)")
+	}
+	return jobs, nil
+}
+
+func hasRLS(jobs []job) bool {
+	for _, j := range jobs {
+		if j.alg == AlgRLS {
+			return true
+		}
+	}
+	return false
+}
+
+// execute runs one job against the memoized per-instance state.
+func execute(j job, prepSBO *core.SBOPrepared, prepRLS *core.RLSPrepared) Run {
+	run := Run{Algorithm: j.alg, Tie: j.tie, Delta: j.delta}
+	switch j.alg {
+	case AlgSBO:
+		res, err := prepSBO.Run(j.delta)
+		if err != nil {
+			run.Err = err
+			return run
+		}
+		run.SBO = res
+		run.Value = model.Value{Cmax: res.Cmax, Mmax: res.Mmax}
+		run.Assignment = res.Assignment
+	case AlgRLS:
+		res, err := prepRLS.Run(j.delta, j.tie)
+		if err != nil {
+			run.Err = err
+			return run
+		}
+		run.RLS = res
+		run.Value = model.Value{Cmax: res.Cmax, Mmax: res.Mmax}
+		run.Assignment = res.Schedule.Assignment()
+	default:
+		run.Err = fmt.Errorf("engine: unknown algorithm %d", int(j.alg))
+	}
+	return run
+}
+
+// assembleFront keeps the non-dominated values of the successful runs,
+// one witness per distinct value (lowest run index), sorted by Cmax.
+func assembleFront(runs []Run) []FrontPoint {
+	var pts []FrontPoint
+	for i, r := range runs {
+		if r.Err != nil {
+			continue
+		}
+		pts = append(pts, FrontPoint{Value: r.Value, RunIndex: i})
+	}
+	var front []FrontPoint
+	for _, p := range pts {
+		dominated := false
+		for _, q := range pts {
+			if q.Value != p.Value && q.Value.WeaklyDominates(p.Value) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		dup := false
+		for _, o := range front {
+			if o.Value == p.Value {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(a, b int) bool { return front[a].Value.Cmax < front[b].Value.Cmax })
+	return front
+}

@@ -25,6 +25,20 @@ type Experiment struct {
 	Run func(w io.Writer) error
 }
 
+// sweepWorkers overrides the worker count of engine-backed
+// experiments; 0 keeps the engine default (one worker per CPU).
+var sweepWorkers int
+
+// SetSweepWorkers sets the worker count used by the engine-backed
+// experiments (cmd/experiments exposes it as -workers). n <= 0
+// restores the default.
+func SetSweepWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sweepWorkers = n
+}
+
 // registry is populated by the per-file init functions.
 var registry []Experiment
 

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"EXT1", "EXT2", "EXT3", "EXT4",
 		"FIG1", "FIG2", "FIG3",
 		"LEM12", "LEM3", "LEM6",
-		"PROP12", "SEC7",
+		"PROP12", "SEC7", "SWEEP",
 	}
 	got := Registry()
 	if len(got) != len(want) {

@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 
 	"storagesched/internal/bounds"
 	"storagesched/internal/core"
+	"storagesched/internal/engine"
 	"storagesched/internal/gen"
 	"storagesched/internal/model"
 	"storagesched/internal/pareto"
@@ -132,33 +134,59 @@ func runCor4(w io.Writer) error {
 	fmt.Fprintf(w, "%-16s %6s  %9s %9s  %9s %6s  %9s %9s\n",
 		"family", "delta", "Cmax/LB", "bound", "Mmax/LB", "d", "SumCi/opt", "2+1/(d-2)")
 	for _, fam := range gen.Families() {
-		for _, d := range deltas {
-			accC := stats.NewAcc(false)
-			accM := stats.NewAcc(false)
-			accS := stats.NewAcc(false)
-			for _, seed := range seeds {
-				in := fam.Gen(n, m, seed)
-				res, err := core.RLSIndependent(in, d, core.TieSPT)
-				if err != nil {
-					return err
-				}
-				rec := bounds.ForInstance(in)
-				accC.Add(float64(res.Cmax) / float64(rec.CmaxLB))
-				accM.Add(float64(res.Mmax) / float64(rec.MmaxLB))
-				accS.Add(float64(res.SumCi) / float64(rec.SumCiLB))
+		// One engine sweep per seed covers the whole δ-grid with the
+		// SPT tie-break; the lower-bound record is memoized by the
+		// engine, so each instance is bounded once instead of once
+		// per δ. Runs come back in grid order, so the table is
+		// identical to the old serial loop.
+		accC := make([]*stats.Acc, len(deltas))
+		accM := make([]*stats.Acc, len(deltas))
+		accS := make([]*stats.Acc, len(deltas))
+		for i := range deltas {
+			accC[i] = stats.NewAcc(false)
+			accM[i] = stats.NewAcc(false)
+			accS[i] = stats.NewAcc(false)
+		}
+		for _, seed := range seeds {
+			in := fam.Gen(n, m, seed)
+			res, err := engine.Sweep(context.Background(), in, engine.Config{
+				Deltas:  deltas,
+				Workers: sweepWorkers,
+				Ties:    []core.TieBreak{core.TieSPT},
+				SkipSBO: true,
+			})
+			if err != nil {
+				return err
 			}
+			rec := res.Bounds
+			for i, run := range res.Runs {
+				if run.Err != nil {
+					return run.Err
+				}
+				// The engine drops RLS jobs for δ < 2, so a grid edit
+				// could silently misalign runs and accumulators.
+				if run.Delta != deltas[i] {
+					return fmt.Errorf("COR4: run %d has delta %g, want %g (all grid deltas must be >= 2)",
+						i, run.Delta, deltas[i])
+				}
+				accC[i].Add(float64(run.RLS.Cmax) / float64(rec.CmaxLB))
+				accM[i].Add(float64(run.RLS.Mmax) / float64(rec.MmaxLB))
+				accS[i].Add(float64(run.RLS.SumCi) / float64(rec.SumCiLB))
+			}
+		}
+		for i, d := range deltas {
 			cBound := core.RLSCmaxRatio(d, m)
 			sBound := core.RLSSumCiRatio(d)
-			okC := accC.Max() <= cBound+1e-9
-			okM := accM.Max() <= d+1e-9
-			okS := accS.Max() <= sBound+1e-9
+			okC := accC[i].Max() <= cBound+1e-9
+			okM := accM[i].Max() <= d+1e-9
+			okS := accS[i].Max() <= sBound+1e-9
 			status := ""
 			if !okC || !okM || !okS {
 				status = "  VIOLATED"
 				violated = true
 			}
 			fmt.Fprintf(w, "%-16s %6.2f  %9.4f %9.4f  %9.4f %6.2f  %9.4f %9.4f%s\n",
-				fam.Name, d, accC.Max(), cBound, accM.Max(), d, accS.Max(), sBound, status)
+				fam.Name, d, accC[i].Max(), cBound, accM[i].Max(), d, accS[i].Max(), sBound, status)
 		}
 	}
 	if violated {

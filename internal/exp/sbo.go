@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"storagesched/internal/core"
+	"storagesched/internal/engine"
 	"storagesched/internal/gen"
 	"storagesched/internal/hardness"
 	"storagesched/internal/makespan"
@@ -47,30 +49,52 @@ func runProp12(w io.Writer) error {
 	fmt.Fprintf(w, "families x deltas, n=%d m=%d, %d seeds, sub-algorithm LPT; worst ratios over seeds\n\n", n, m, len(seeds))
 	fmt.Fprintf(w, "%-16s %6s  %10s %10s  %10s %10s\n", "family", "delta", "Cmax/C", "(1+d)", "Mmax/M", "(1+1/d)")
 	for _, fam := range gen.Families() {
-		for _, d := range deltas {
-			accC := stats.NewAcc(false)
-			accM := stats.NewAcc(false)
-			for _, seed := range seeds {
-				in := fam.Gen(n, m, seed)
-				res, err := core.SBO(in, d, makespan.LPT{}, makespan.LPT{})
-				if err != nil {
-					return err
+		// One engine sweep per seed covers the whole δ-grid; the
+		// sub-schedules π1/π2 are computed once per instance and the
+		// runs come back in grid order, so the table is identical to
+		// the old serial loop.
+		accC := make([]*stats.Acc, len(deltas))
+		accM := make([]*stats.Acc, len(deltas))
+		for i := range deltas {
+			accC[i] = stats.NewAcc(false)
+			accM[i] = stats.NewAcc(false)
+		}
+		for _, seed := range seeds {
+			in := fam.Gen(n, m, seed)
+			res, err := engine.Sweep(context.Background(), in, engine.Config{
+				Deltas:  deltas,
+				Workers: sweepWorkers,
+				AlgC:    makespan.LPT{},
+				AlgM:    makespan.LPT{},
+				SkipRLS: true,
+			})
+			if err != nil {
+				return err
+			}
+			for i, run := range res.Runs {
+				if run.Err != nil {
+					return run.Err
 				}
-				accC.Add(float64(res.Cmax) / float64(res.C))
-				if res.M > 0 {
-					accM.Add(float64(res.Mmax) / float64(res.M))
+				if run.Delta != deltas[i] {
+					return fmt.Errorf("PROP12: run %d has delta %g, want %g", i, run.Delta, deltas[i])
+				}
+				accC[i].Add(float64(run.SBO.Cmax) / float64(run.SBO.C))
+				if run.SBO.M > 0 {
+					accM[i].Add(float64(run.SBO.Mmax) / float64(run.SBO.M))
 				}
 			}
+		}
+		for i, d := range deltas {
 			cb, mb := 1+d, 1+1/d
-			okC := accC.Max() <= cb+1e-9
-			okM := accM.Max() <= mb+1e-9
+			okC := accC[i].Max() <= cb+1e-9
+			okM := accM[i].Max() <= mb+1e-9
 			status := ""
 			if !okC || !okM {
 				status = "  VIOLATED"
 				violated = true
 			}
 			fmt.Fprintf(w, "%-16s %6.2f  %10.4f %10.4f  %10.4f %10.4f%s\n",
-				fam.Name, d, accC.Max(), cb, accM.Max(), mb, status)
+				fam.Name, d, accC[i].Max(), cb, accM[i].Max(), mb, status)
 		}
 	}
 	if violated {

@@ -17,6 +17,8 @@
 //     Hochbaum–Shmoys PTAS and exact solvers),
 //   - exact Pareto-front enumeration for small instances and the
 //     Section 4 hardness instances,
+//   - a parallel δ-sweep engine (Sweep) producing approximate Pareto
+//     fronts at any instance size,
 //   - deterministic workload generators and ASCII Gantt rendering.
 //
 // Quickstart:
@@ -26,14 +28,39 @@
 //		[]storagesched.Mem{3, 8, 1, 5})
 //	res, err := storagesched.SBOWithLPT(in, 1.0)
 //	// res.Assignment places each task; res.Cmax/res.Mmax are achieved.
+//
+// # Sweeps and approximate Pareto fronts
+//
+// The paper's headline artifact is the family of (1+δ, 1+1/δ)-
+// approximate schedules swept over δ. ParetoFront enumerates the exact
+// front but is exponential and capped at 24 tasks; Sweep instead
+// evaluates SBO and all four RLS tie-breaks across a δ-grid with a
+// worker pool (one worker per CPU by default) and keeps the
+// non-dominated hull of the achieved (Cmax, Mmax) points — an
+// approximate front that scales to arbitrary instance sizes:
+//
+//	in := storagesched.GenUniform(200, 16, 1)
+//	res, err := storagesched.Sweep(context.Background(), in,
+//		storagesched.SweepConfig{Deltas: storagesched.SweepGeometricGrid(0.25, 8, 32)})
+//	for _, p := range res.Front {
+//		fmt.Println(p.Value, res.Runs[p.RunIndex].Label())
+//	}
+//
+// Results are deterministic: runs are reported in grid order and the
+// front is identical whatever the worker count or goroutine
+// interleaving. Per-instance state (lower bounds, the SBO
+// sub-schedules, the RLS tie-break orders) is computed once per sweep,
+// not once per run; cancel the context to abandon a sweep mid-flight.
 package storagesched
 
 import (
+	"context"
 	"io"
 
 	"storagesched/internal/bounds"
 	"storagesched/internal/core"
 	"storagesched/internal/dag"
+	"storagesched/internal/engine"
 	"storagesched/internal/gantt"
 	"storagesched/internal/gen"
 	"storagesched/internal/makespan"
@@ -189,6 +216,42 @@ type ParetoPoint = pareto.Point
 
 // ParetoFront enumerates the exact Pareto front (n ≤ 24).
 func ParetoFront(in *Instance) ([]ParetoPoint, error) { return pareto.Front(in) }
+
+// Parallel δ-sweeps (approximate Pareto fronts at any size).
+type (
+	// SweepConfig selects the δ-grid, worker count, SBO
+	// sub-algorithms and RLS tie-breaks of a sweep.
+	SweepConfig = engine.Config
+	// SweepResult carries the per-run outcomes (deterministic grid
+	// order), the assembled front and the memoized lower bounds.
+	SweepResult = engine.Result
+	// SweepRun is one (algorithm, δ) evaluation inside a sweep.
+	SweepRun = engine.Run
+	// SweepFrontPoint is one approximate-front point with the index
+	// of its witness run.
+	SweepFrontPoint = engine.FrontPoint
+	// SweepAlgorithm tags a run as SBO or RLS.
+	SweepAlgorithm = engine.Algorithm
+)
+
+// Sweep algorithm tags.
+const (
+	SweepSBO = engine.AlgSBO
+	SweepRLS = engine.AlgRLS
+)
+
+// Sweep evaluates SBO and RLS over a δ-grid concurrently and returns
+// the approximate Pareto front; see the package documentation.
+func Sweep(ctx context.Context, in *Instance, cfg SweepConfig) (*SweepResult, error) {
+	return engine.Sweep(ctx, in, cfg)
+}
+
+// SweepLinearGrid returns n evenly spaced δ values covering [lo, hi].
+func SweepLinearGrid(lo, hi float64, n int) []float64 { return engine.LinearGrid(lo, hi, n) }
+
+// SweepGeometricGrid returns n geometrically spaced δ values covering
+// [lo, hi] — the natural spacing for the (1+δ, 1+1/δ) trade-off.
+func SweepGeometricGrid(lo, hi float64, n int) []float64 { return engine.GeometricGrid(lo, hi, n) }
 
 // Rendering.
 type GanttOptions = gantt.Options

@@ -2,6 +2,8 @@ package storagesched
 
 import (
 	"bytes"
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -20,6 +22,42 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 	if float64(res.Cmax) > 2*float64(res.C) || (res.M > 0 && float64(res.Mmax) > 2*float64(res.M)) {
 		t.Errorf("SBO guarantees violated at delta=1")
+	}
+}
+
+// TestFacadeSweep is the acceptance scenario: a 32-point δ-grid on a
+// 200-task instance returns a deterministic non-dominated front.
+func TestFacadeSweep(t *testing.T) {
+	in := GenUniform(200, 16, 1)
+	grid := SweepGeometricGrid(0.25, 8, 32)
+	var first *SweepResult
+	for _, workers := range []int{1, 4, 0} { // serial, fixed, NumCPU
+		res, err := Sweep(context.Background(), in, SweepConfig{Deltas: grid, Workers: workers})
+		if err != nil {
+			t.Fatalf("Sweep(workers=%d): %v", workers, err)
+		}
+		if len(res.Front) == 0 {
+			t.Fatal("empty front")
+		}
+		for i, p := range res.Front {
+			if i > 0 && (p.Value.Cmax <= res.Front[i-1].Value.Cmax ||
+				p.Value.Mmax >= res.Front[i-1].Value.Mmax) {
+				t.Fatalf("front not non-dominated at %d: %v after %v",
+					i, p.Value, res.Front[i-1].Value)
+			}
+			run := res.Runs[p.RunIndex]
+			if err := in.ValidateAssignment(run.Assignment); err != nil {
+				t.Fatalf("front witness %s invalid: %v", run.Label(), err)
+			}
+		}
+		if first == nil {
+			first = res
+		} else if !reflect.DeepEqual(res.Front, first.Front) {
+			t.Fatalf("front depends on worker count: %v vs %v", res.Front, first.Front)
+		}
+	}
+	if first.Bounds.MmaxLB != MemLB(in.S(), in.M) {
+		t.Errorf("sweep bounds record disagrees with MemLB")
 	}
 }
 

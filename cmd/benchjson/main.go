@@ -1,0 +1,184 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document suitable for archiving as a CI artifact, so the performance
+// trajectory of the sweep engine is tracked per PR:
+//
+//	go test -run xxx -bench 'BenchmarkSweep' -benchtime=3x -count=3 . | benchjson -out BENCH_sweep.json
+//	benchjson -in bench.txt -out BENCH_sweep.json
+//
+// Repeated samples of one benchmark (from -count) are grouped under a
+// single entry with min/mean ns-per-op summaries, which makes
+// regression diffs between artifacts a one-line jq comparison.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark result line.
+type Sample struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Benchmark groups the samples of one benchmark name.
+type Benchmark struct {
+	Name      string   `json:"name"`
+	Procs     int      `json:"procs,omitempty"`
+	Samples   []Sample `json:"samples"`
+	MinNsOp   float64  `json:"min_ns_per_op"`
+	MeanNsOp  float64  `json:"mean_ns_per_op"`
+	SampleLen int      `json:"sample_count"`
+}
+
+// Report is the artifact document.
+type Report struct {
+	Goos       string       `json:"goos,omitempty"`
+	Goarch     string       `json:"goarch,omitempty"`
+	Pkg        string       `json:"pkg,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	inPath := flag.String("in", "", "benchmark text output (default: stdin)")
+	outPath := flag.String("out", "", "JSON artifact path (default: stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// Parse reads `go test -bench` output and aggregates it per benchmark.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	byName := map[string]*Benchmark{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		name = strings.TrimPrefix(name, "Benchmark")
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: bad iteration count: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: bad ns/op: %w", line, err)
+		}
+		s := Sample{Iterations: iters, NsPerOp: ns}
+		// Optional -benchmem columns: "B/op" and "allocs/op".
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				s.BytesPerOp = v
+			case "allocs/op":
+				s.AllocsPerOp = v
+			}
+		}
+		b := byName[fields[0]]
+		if b == nil {
+			b = &Benchmark{Name: name, Procs: procs}
+			byName[fields[0]] = b
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+		b.Samples = append(b.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, b := range rep.Benchmarks {
+		min, sum := b.Samples[0].NsPerOp, 0.0
+		for _, s := range b.Samples {
+			if s.NsPerOp < min {
+				min = s.NsPerOp
+			}
+			sum += s.NsPerOp
+		}
+		b.MinNsOp = min
+		b.MeanNsOp = sum / float64(len(b.Samples))
+		b.SampleLen = len(b.Samples)
+	}
+	return rep, nil
+}
+
+// splitProcs separates the "-N" GOMAXPROCS suffix from a benchmark
+// name; names without one (GOMAXPROCS=1 runs) pass through whole.
+func splitProcs(full string) (string, int) {
+	i := strings.LastIndexByte(full, '-')
+	if i < 0 {
+		return full, 0
+	}
+	n, err := strconv.Atoi(full[i+1:])
+	if err != nil || n <= 0 {
+		return full, 0
+	}
+	return full[:i], n
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: storagesched
+cpu: AMD EPYC 7543 32-Core Processor
+BenchmarkSweep_Serial-8   	       3	 123456789 ns/op	 1234567 B/op	   12345 allocs/op
+BenchmarkSweep_Serial-8   	       3	 120000000 ns/op	 1234000 B/op	   12300 allocs/op
+BenchmarkSweep_Parallel-8 	       3	  43210987.5 ns/op	 1234567 B/op	   12345 allocs/op
+BenchmarkSweepBatch_n50-8 	       3	  99000000 ns/op
+BenchmarkSweepSequential_n50-8 	   3	 180000000 ns/op
+PASS
+ok  	storagesched	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "storagesched" {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "EPYC") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("%d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	serial := rep.Benchmarks[0]
+	if serial.Name != "Sweep_Serial" || serial.Procs != 8 {
+		t.Errorf("first benchmark = %q procs=%d", serial.Name, serial.Procs)
+	}
+	if serial.SampleLen != 2 || len(serial.Samples) != 2 {
+		t.Fatalf("-count samples not grouped: %+v", serial)
+	}
+	if serial.MinNsOp != 120000000 {
+		t.Errorf("min ns/op = %g", serial.MinNsOp)
+	}
+	if want := (123456789.0 + 120000000.0) / 2; serial.MeanNsOp != want {
+		t.Errorf("mean ns/op = %g, want %g", serial.MeanNsOp, want)
+	}
+	if serial.Samples[0].BytesPerOp != 1234567 || serial.Samples[0].AllocsPerOp != 12345 {
+		t.Errorf("benchmem columns not parsed: %+v", serial.Samples[0])
+	}
+
+	parallel := rep.Benchmarks[1]
+	if parallel.Name != "Sweep_Parallel" || parallel.SampleLen != 1 {
+		t.Errorf("unexpected second benchmark: %+v", parallel)
+	}
+	if parallel.Samples[0].NsPerOp != 43210987.5 {
+		t.Errorf("fractional ns/op not parsed: %g", parallel.Samples[0].NsPerOp)
+	}
+
+	batch := rep.Benchmarks[2]
+	if batch.Name != "SweepBatch_n50" || batch.Samples[0].BytesPerOp != 0 {
+		t.Errorf("bench without -benchmem columns mis-parsed: %+v", batch)
+	}
+}
+
+func TestParseEmptyAndGarbage(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok storagesched 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("benchmarks parsed from non-benchmark output: %+v", rep.Benchmarks)
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-4 notanumber 12 ns/op\n")); err == nil {
+		t.Error("bad iteration count accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-4 3 notanumber ns/op\n")); err == nil {
+		t.Error("bad ns/op accepted")
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkSweep_Serial-8", "BenchmarkSweep_Serial", 8},
+		{"BenchmarkSweep_Serial", "BenchmarkSweep_Serial", 0},
+		{"BenchmarkSweepBatch_n50-16", "BenchmarkSweepBatch_n50", 16},
+		{"BenchmarkOdd-name", "BenchmarkOdd-name", 0},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

@@ -20,9 +20,11 @@ func main() {
 	list := flag.Bool("list", false, "list the experiment index and exit")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	workers := flag.Int("workers", 0, "worker count for engine-backed sweeps (0 = one per CPU)")
+	pending := flag.Int("pending", 0, "max in-flight instances for batch sweeps (0 = twice the workers)")
 	flag.Parse()
 
 	exp.SetSweepWorkers(*workers)
+	exp.SetSweepPending(*pending)
 
 	if *list {
 		for _, e := range exp.Registry() {

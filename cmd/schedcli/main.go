@@ -10,17 +10,34 @@
 //
 //	schedcli sweep -in instance.json -dmin 0.25 -dmax 8 -points 32
 //
+// The sweepbatch subcommand sweeps many instances through one shared
+// worker pool and writes one JSON front per line (JSONL), streaming in
+// input order with bounded memory. -in accepts a directory of *.json
+// instances, a .jsonl file with one instance per line, or a single
+// .json file; with no -in it reads a stream of JSON instances from
+// stdin (compact JSONL or indented documents, as geninstance emits):
+//
+//	schedcli sweepbatch -in instances/ -out fronts.jsonl
+//	geninstance ... | schedcli sweepbatch -points 16
+//
 // The instance format is the one produced by geninstance:
 //
 //	{"m": 2, "tasks": [{"id":0,"p":4,"s":1}, ...]}
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"iter"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	sched "storagesched"
 )
@@ -28,6 +45,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		if err := runSweep(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "schedcli: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sweepbatch" {
+		if err := runSweepBatch(os.Args[2:], os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "schedcli: %v\n", err)
 			os.Exit(1)
 		}
@@ -63,17 +87,9 @@ func runSweep(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*dmin > 0) || *dmax < *dmin || *points < 1 {
-		return fmt.Errorf("invalid grid: dmin=%g dmax=%g points=%d", *dmin, *dmax, *points)
-	}
-	var grid []float64
-	switch *gridKind {
-	case "geo":
-		grid = sched.SweepGeometricGrid(*dmin, *dmax, *points)
-	case "lin":
-		grid = sched.SweepLinearGrid(*dmin, *dmax, *points)
-	default:
-		return fmt.Errorf("unknown grid spacing %q", *gridKind)
+	grid, err := buildGrid(*gridKind, *dmin, *dmax, *points)
+	if err != nil {
+		return err
 	}
 
 	in, err := readInstance(*inPath)
@@ -110,6 +126,283 @@ func runSweep(args []string, w io.Writer) error {
 			res.Runs[p.RunIndex].Label())
 	}
 	return nil
+}
+
+// buildGrid constructs the δ-grid for the sweep subcommands; grid
+// shape errors surface as messages, not stack traces.
+func buildGrid(kind string, dmin, dmax float64, points int) ([]float64, error) {
+	switch kind {
+	case "geo":
+		return sched.SweepGeometricGrid(dmin, dmax, points)
+	case "lin":
+		return sched.SweepLinearGrid(dmin, dmax, points)
+	}
+	return nil, fmt.Errorf("unknown grid spacing %q", kind)
+}
+
+// batchFrontLine is the JSONL record sweepbatch writes per instance.
+type batchFrontLine struct {
+	Source string           `json:"source"`
+	Index  int              `json:"index"`
+	N      int              `json:"n,omitempty"`
+	M      int              `json:"m,omitempty"`
+	CmaxLB sched.Time       `json:"cmax_lb,omitempty"`
+	MmaxLB sched.Mem        `json:"mmax_lb,omitempty"`
+	Runs   int              `json:"runs,omitempty"`
+	Front  []batchFrontJSON `json:"front,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+type batchFrontJSON struct {
+	Cmax    sched.Time `json:"cmax"`
+	Mmax    sched.Mem  `json:"mmax"`
+	Witness string     `json:"witness"`
+}
+
+// runSweepBatch implements the sweepbatch subcommand: a streaming
+// batch sweep over a directory, JSONL file or stdin, one front per
+// output line, in input order.
+func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("sweepbatch", flag.ContinueOnError)
+	inPath := fs.String("in", "", "directory of *.json instances, a .jsonl file (one instance per line), or a single .json instance (default: JSONL on stdin)")
+	outPath := fs.String("out", "", "output JSONL file (default: stdout)")
+	dmin := fs.Float64("dmin", 0.25, "smallest delta of the grid")
+	dmax := fs.Float64("dmax", 8, "largest delta of the grid")
+	points := fs.Int("points", 32, "number of grid points")
+	gridKind := fs.String("grid", "geo", "grid spacing: geo | lin")
+	workers := fs.Int("workers", 0, "shared pool size (0 = one per CPU)")
+	pending := fs.Int("pending", 0, "max instances in flight (0 = twice the workers)")
+	noSBO := fs.Bool("no-sbo", false, "skip the SBO family")
+	noRLS := fs.Bool("no-rls", false, "skip the RLS family")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grid, err := buildGrid(*gridKind, *dmin, *dmax, *points)
+	if err != nil {
+		return err
+	}
+
+	items, err := batchItems(*inPath, stdin)
+	if err != nil {
+		return err
+	}
+
+	out := w
+	var outFile *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		out = f
+	}
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+
+	// Per-instance metadata rides on the item Tag — the sequence is
+	// consumed from the engine's producer goroutine, so the Tag is the
+	// race-free channel back to the output loop.
+	type sourceInfo struct {
+		name string
+		n, m int
+	}
+	total := 0
+	failed := 0
+	err = sched.SweepBatch(context.Background(),
+		func(yield func(sched.BatchItem) bool) {
+			for item, source := range items {
+				info := sourceInfo{name: source}
+				if item.Instance != nil {
+					info.n, info.m = item.Instance.N(), item.Instance.M
+				}
+				item.Tag = info
+				if !yield(item) {
+					return
+				}
+			}
+		},
+		sched.BatchConfig{
+			Config: sched.SweepConfig{
+				Deltas:  grid,
+				Workers: *workers,
+				SkipSBO: *noSBO,
+				SkipRLS: *noRLS,
+			},
+			MaxPending: *pending,
+		},
+		func(br sched.BatchResult) error {
+			total++
+			src := br.Tag.(sourceInfo)
+			line := batchFrontLine{Source: src.name, Index: br.Index, N: src.n, M: src.m}
+			if br.Err != nil {
+				failed++
+				line.Error = br.Err.Error()
+				return enc.Encode(line)
+			}
+			res := br.Result
+			line.CmaxLB = res.Bounds.CmaxLB
+			line.MmaxLB = res.Bounds.MmaxLB
+			line.Runs = len(res.Runs)
+			line.Front = make([]batchFrontJSON, len(res.Front))
+			for i, p := range res.Front {
+				line.Front[i] = batchFrontJSON{
+					Cmax:    p.Value.Cmax,
+					Mmax:    p.Value.Mmax,
+					Witness: res.Runs[p.RunIndex].Label(),
+				}
+			}
+			return enc.Encode(line)
+		})
+	if err != nil {
+		if outFile != nil {
+			outFile.Close()
+		}
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		if outFile != nil {
+			outFile.Close()
+		}
+		return err
+	}
+	// Close explicitly: a write-back error surfacing at close (full
+	// disk, NFS) must fail the command, not vanish in a defer.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("sweepbatch: %d of %d instances failed (see the error lines in the output)", failed, total)
+	}
+	return nil
+}
+
+// batchItems lazily yields (item, source label) pairs from a directory
+// of *.json files, a .jsonl stream, a single .json file, or stdin (a
+// stream of concatenated JSON values — compact JSONL and indented
+// documents both work). Read and parse failures are carried on the
+// item, so one bad file fails alone inside the batch instead of
+// aborting it.
+func batchItems(inPath string, stdin io.Reader) (iter.Seq2[sched.BatchItem, string], error) {
+	if inPath == "" {
+		return streamItems("stdin", stdin, nil), nil
+	}
+	info, err := os.Stat(inPath)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		names, err := filepath.Glob(filepath.Join(inPath, "*.json"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			return nil, fmt.Errorf("no *.json instances in %s", inPath)
+		}
+		return func(yield func(sched.BatchItem, string) bool) {
+			for _, name := range names {
+				item := sched.BatchItem{}
+				if in, err := readInstance(name); err != nil {
+					item.Err = err
+				} else {
+					item.Instance = in
+				}
+				if !yield(item, filepath.Base(name)) {
+					return
+				}
+			}
+		}, nil
+	}
+	f, err := os.Open(inPath)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(inPath, ".jsonl") {
+		return jsonlItems(filepath.Base(inPath), f, f), nil
+	}
+	// Single-instance JSON file.
+	return func(yield func(sched.BatchItem, string) bool) {
+		defer f.Close()
+		item := sched.BatchItem{}
+		if in, err := sched.ReadInstanceJSON(f); err != nil {
+			item.Err = fmt.Errorf("%s: %w", inPath, err)
+		} else {
+			item.Instance = in
+		}
+		yield(item, filepath.Base(inPath))
+	}, nil
+}
+
+// streamItems yields one instance per JSON value decoded from r —
+// accepting compact JSONL and indented multi-line documents alike
+// (geninstance emits the latter) — closing c (when non-nil) once the
+// stream is drained. A malformed value poisons the rest of the stream
+// (there is no line boundary to resynchronize on), so it is reported
+// once and the stream ends.
+func streamItems(label string, r io.Reader, c io.Closer) iter.Seq2[sched.BatchItem, string] {
+	return func(yield func(sched.BatchItem, string) bool) {
+		if c != nil {
+			defer c.Close()
+		}
+		dec := json.NewDecoder(r)
+		for k := 1; ; k++ {
+			var raw json.RawMessage
+			if err := dec.Decode(&raw); err != nil {
+				if err != io.EOF {
+					yield(sched.BatchItem{Err: fmt.Errorf("%s value %d: %w", label, k, err)},
+						fmt.Sprintf("%s:%d", label, k))
+				}
+				return
+			}
+			item := sched.BatchItem{}
+			source := fmt.Sprintf("%s:%d", label, k)
+			if in, err := sched.ReadInstanceJSON(bytes.NewReader(raw)); err != nil {
+				item.Err = fmt.Errorf("%s: %w", source, err)
+			} else {
+				item.Instance = in
+			}
+			if !yield(item, source) {
+				return
+			}
+		}
+	}
+}
+
+// jsonlItems yields one instance per non-empty line of r, closing c
+// (when non-nil) once the stream is drained; unlike streamItems, a
+// bad line fails alone and the remaining lines still sweep.
+func jsonlItems(label string, r io.Reader, c io.Closer) iter.Seq2[sched.BatchItem, string] {
+	return func(yield func(sched.BatchItem, string) bool) {
+		if c != nil {
+			defer c.Close()
+		}
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			item := sched.BatchItem{}
+			source := fmt.Sprintf("%s:%d", label, lineNo)
+			if in, err := sched.ReadInstanceJSON(strings.NewReader(text)); err != nil {
+				item.Err = fmt.Errorf("%s: %w", source, err)
+			} else {
+				item.Instance = in
+			}
+			if !yield(item, source) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			yield(sched.BatchItem{Err: fmt.Errorf("%s: %w", label, err)}, label)
+		}
+	}
 }
 
 // readInstance decodes a JSON instance from the given file, or from

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -91,6 +94,181 @@ func TestRunSweepRejectsBadInputs(t *testing.T) {
 	}
 	for _, args := range cases {
 		if err := runSweep(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// writeInstanceDir writes k distinct JSON instances into a fresh
+// directory and returns it.
+func writeInstanceDir(t *testing.T, k int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < k; i++ {
+		in := sched.GenUniform(12+i, 2, int64(i+1))
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("inst%02d.json", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return dir
+}
+
+// decodeLines parses every JSONL line of the sweepbatch output.
+func decodeLines(t *testing.T, out string) []map[string]any {
+	t.Helper()
+	var lines []map[string]any
+	for _, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		if ln == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		lines = append(lines, m)
+	}
+	return lines
+}
+
+func TestRunSweepBatchDirectory(t *testing.T) {
+	dir := writeInstanceDir(t, 3)
+	var buf strings.Builder
+	err := runSweepBatch([]string{"-in", dir, "-dmin", "0.5", "-dmax", "8", "-points", "8"}, nil, &buf)
+	if err != nil {
+		t.Fatalf("sweepbatch: %v", err)
+	}
+	lines := decodeLines(t, buf.String())
+	if len(lines) != 3 {
+		t.Fatalf("%d output lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, m := range lines {
+		if m["source"] != fmt.Sprintf("inst%02d.json", i) {
+			t.Errorf("line %d source = %v (input order must be preserved)", i, m["source"])
+		}
+		if int(m["index"].(float64)) != i {
+			t.Errorf("line %d index = %v", i, m["index"])
+		}
+		if _, ok := m["error"]; ok {
+			t.Errorf("line %d unexpectedly failed: %v", i, m["error"])
+		}
+		if front, ok := m["front"].([]any); !ok || len(front) == 0 {
+			t.Errorf("line %d has no front points: %v", i, m["front"])
+		}
+		if m["cmax_lb"] == nil || m["mmax_lb"] == nil {
+			t.Errorf("line %d missing lower bounds", i)
+		}
+	}
+}
+
+func TestRunSweepBatchJSONLWithBadLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "batch.jsonl")
+	var sb strings.Builder
+	for i := 0; i < 2; i++ {
+		var one bytes.Buffer
+		if err := sched.GenUniform(10, 2, int64(i+1)).WriteJSON(&one); err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(strings.ReplaceAll(one.String(), "\n", "") + "\n")
+	}
+	sb.WriteString("{not json}\n")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	err := runSweepBatch([]string{"-in", path, "-points", "4", "-dmin", "1", "-dmax", "4"}, nil, &buf)
+	if err == nil {
+		t.Fatal("batch with a bad line reported success")
+	}
+	if !strings.Contains(err.Error(), "1 of 3") {
+		t.Errorf("error %q does not count the failure", err)
+	}
+	lines := decodeLines(t, buf.String())
+	if len(lines) != 3 {
+		t.Fatalf("%d output lines, want 3 (bad line must fail alone)", len(lines))
+	}
+	if _, ok := lines[2]["error"]; !ok {
+		t.Errorf("bad line produced no error record: %v", lines[2])
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := lines[i]["error"]; ok {
+			t.Errorf("good line %d failed: %v", i, lines[i]["error"])
+		}
+	}
+}
+
+func TestRunSweepBatchStdinAndOutFile(t *testing.T) {
+	// stdin is a stream of concatenated JSON values — indented
+	// documents exactly as geninstance pipes them, no JSONL
+	// flattening required.
+	var stream bytes.Buffer
+	for seed := int64(5); seed <= 6; seed++ {
+		if err := sched.GenUniform(10, 2, seed).WriteJSON(&stream); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outPath := filepath.Join(t.TempDir(), "fronts.jsonl")
+	var buf strings.Builder
+	err := runSweepBatch([]string{"-out", outPath, "-points", "4", "-dmin", "1", "-dmax", "4"}, &stream, &buf)
+	if err != nil {
+		t.Fatalf("sweepbatch via stdin: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("-out set but stdout written: %q", buf.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeLines(t, string(data))
+	if len(lines) != 2 || lines[0]["source"] != "stdin:1" || lines[1]["source"] != "stdin:2" {
+		t.Fatalf("unexpected output: %v", lines)
+	}
+}
+
+func TestRunSweepBatchStdinGarbageValue(t *testing.T) {
+	var stream bytes.Buffer
+	if err := sched.GenUniform(10, 2, 7).WriteJSON(&stream); err != nil {
+		t.Fatal(err)
+	}
+	stream.WriteString("{broken\n")
+	var buf strings.Builder
+	err := runSweepBatch([]string{"-points", "4", "-dmin", "1", "-dmax", "4"}, &stream, &buf)
+	if err == nil {
+		t.Fatal("garbage stdin value reported success")
+	}
+	lines := decodeLines(t, buf.String())
+	if len(lines) != 2 {
+		t.Fatalf("%d output lines, want 2 (good value + error record):\n%s", len(lines), buf.String())
+	}
+	if _, ok := lines[0]["error"]; ok {
+		t.Errorf("good value failed: %v", lines[0]["error"])
+	}
+	if _, ok := lines[1]["error"]; !ok {
+		t.Errorf("garbage value produced no error record: %v", lines[1])
+	}
+}
+
+func TestRunSweepBatchRejectsBadInputs(t *testing.T) {
+	dir := writeInstanceDir(t, 1)
+	var buf strings.Builder
+	cases := [][]string{
+		{"-in", dir, "-dmin", "0"},
+		{"-in", dir, "-dmin", "4", "-dmax", "2"},
+		{"-in", dir, "-points", "0"},
+		{"-in", dir, "-grid", "bogus"},
+		{"-in", dir, "-no-sbo", "-no-rls"},
+		{"-in", filepath.Join(t.TempDir(), "missing")},
+		{"-in", t.TempDir()}, // no *.json files
+	}
+	for _, args := range cases {
+		if err := runSweepBatch(args, strings.NewReader(""), &buf); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

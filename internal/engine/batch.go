@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"storagesched/internal/bounds"
+	"storagesched/internal/core"
+	"storagesched/internal/makespan"
+	"storagesched/internal/model"
+)
+
+// BatchItem is one instance of a batch sweep, with an optional
+// per-instance configuration override.
+type BatchItem struct {
+	// Instance is the instance to sweep.
+	Instance *model.Instance
+
+	// Override, when non-nil, replaces the batch-wide base Config for
+	// this instance only (its Workers field is ignored — the worker
+	// pool is shared by the whole batch).
+	Override *Config
+
+	// Err, when non-nil, marks the item as failed at the source (for
+	// example a file that did not parse): the instance is not swept
+	// and its BatchResult carries this error. Streaming producers use
+	// it to report per-item read errors without aborting the batch.
+	Err error
+
+	// Tag is opaque per-item context (a filename, a seed, a family
+	// label) echoed verbatim on the item's BatchResult. The item
+	// sequence is consumed from the batch's producer goroutine, so a
+	// tag is the race-free way to hand the consumer side per-item
+	// metadata.
+	Tag any
+}
+
+// BatchOf adapts a slice of instances to the item sequence SweepBatch
+// consumes, with no per-instance overrides.
+func BatchOf(instances ...*model.Instance) iter.Seq[BatchItem] {
+	return func(yield func(BatchItem) bool) {
+		for _, in := range instances {
+			if !yield(BatchItem{Instance: in}) {
+				return
+			}
+		}
+	}
+}
+
+// BatchConfig parameterizes SweepBatch. The embedded Config is the
+// default sweep configuration of every instance (items may override it
+// individually); its Workers field sizes the one pool shared by the
+// whole batch.
+type BatchConfig struct {
+	Config
+
+	// MaxPending bounds how many instances may be in flight — admitted
+	// to the pool but not yet emitted — at once, which bounds the
+	// batch's memory to O(MaxPending × runs per instance) however many
+	// instances the sequence yields. 0 means 2× the worker count, so
+	// the pool stays fed across instance boundaries.
+	MaxPending int
+}
+
+// BatchResult is one instance's outcome. Results are delivered in
+// instance order regardless of which workers ran the jobs.
+type BatchResult struct {
+	// Index is the zero-based position of the instance in the input
+	// sequence.
+	Index int
+
+	// Result is the instance's sweep outcome, exactly what Sweep would
+	// have returned for the same instance and config. Nil when Err is
+	// non-nil.
+	Result *Result
+
+	// Err is a per-instance failure (an invalid instance or override,
+	// or a source error carried by the item); the batch continues past
+	// it to the remaining instances.
+	Err error
+
+	// Tag is the item's Tag, echoed verbatim.
+	Tag any
+}
+
+// batchJob is one (instance, grid point) evaluation in the shared pool.
+type batchJob struct {
+	st  *batchState
+	idx int
+}
+
+// batchState is the in-flight record of one instance: its effective
+// config, deterministic job list, memoized prepared state (computed
+// exactly once, by the first worker to touch the instance) and the
+// runs landing at their job indexes.
+type batchState struct {
+	index int
+	in    *model.Instance
+	tag   any
+	cfg   Config
+	jobs  []job
+	runs  []Run
+
+	prepOnce sync.Once
+	prepSBO  *core.SBOPrepared
+	prepRLS  *core.RLSPrepared
+	bounds   bounds.Record
+	err      error
+
+	remaining atomic.Int64
+	skipped   atomic.Bool
+	done      chan struct{}
+}
+
+// prepare memoizes the per-instance state shared by every run: the SBO
+// sub-schedules π1/π2, the RLS tie-break orders and the lower-bound
+// record. It runs exactly once per instance, inside the worker pool,
+// so preparation of one instance overlaps evaluation of another.
+func (st *batchState) prepare() {
+	if !st.cfg.SkipSBO {
+		algC, algM := st.cfg.AlgC, st.cfg.AlgM
+		if algC == nil {
+			algC = makespan.LPT{}
+		}
+		if algM == nil {
+			algM = makespan.LPT{}
+		}
+		if st.prepSBO, st.err = core.PrepareSBO(st.in, algC, algM); st.err != nil {
+			return
+		}
+	}
+	if hasRLS(st.jobs) {
+		ties := st.cfg.Ties
+		if ties == nil {
+			ties = DefaultTies
+		}
+		if st.prepRLS, st.err = core.PrepareRLSIndependent(st.in, ties...); st.err != nil {
+			return
+		}
+	}
+	st.bounds = bounds.ForInstance(st.in)
+}
+
+// SweepBatch sweeps every instance of items through one shared worker
+// pool and streams each instance's Result — identical to what Sweep
+// would return for it — to emit, in instance order, as soon as it
+// completes. emit is called sequentially from the calling goroutine;
+// returning a non-nil error from it aborts the batch and SweepBatch
+// returns that error.
+//
+// Jobs from different instances interleave freely in the pool, so the
+// workers never idle at instance boundaries the way back-to-back Sweep
+// calls do, and per-instance state is prepared exactly once, inside
+// the pool. At most MaxPending instances are held in memory at a time:
+// fronts for thousands of instances stream through in bounded space.
+//
+// A per-instance failure (invalid instance, invalid override, or an
+// item's source error) is delivered as BatchResult.Err and the batch
+// continues. On context cancellation the remaining jobs are abandoned
+// and SweepBatch returns ctx.Err().
+//
+// items is consumed from the batch's producer goroutine, concurrently
+// with emit: a sequence that shares mutable state with the caller must
+// synchronize, or carry per-item context in BatchItem.Tag instead.
+func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig, emit func(BatchResult) error) error {
+	if items == nil {
+		return fmt.Errorf("engine: nil batch item sequence")
+	}
+	if emit == nil {
+		return fmt.Errorf("engine: nil emit callback")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	pending := cfg.MaxPending
+	if pending <= 0 {
+		pending = 2 * workers
+	}
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobCh := make(chan batchJob)
+	order := make(chan *batchState, pending)
+	admit := make(chan struct{}, pending)
+
+	// Producer: admit instances in input order, lay out their
+	// deterministic job lists and feed the shared pool. The admit
+	// semaphore (released by the emitter loop below) keeps at most
+	// `pending` instances in flight.
+	go func() {
+		defer close(order)
+		defer close(jobCh)
+		index := 0
+		for item := range items {
+			st := &batchState{index: index, in: item.Instance, tag: item.Tag, done: make(chan struct{})}
+			index++
+			eff := cfg.Config
+			if item.Override != nil {
+				eff = *item.Override
+			}
+			eff.Workers = workers
+			st.cfg = eff
+			switch {
+			case item.Err != nil:
+				st.err = item.Err
+				close(st.done)
+			case item.Instance == nil:
+				st.err = fmt.Errorf("engine: batch item %d has nil instance", st.index)
+				close(st.done)
+			default:
+				jobs, err := buildJobs(eff)
+				if err != nil {
+					st.err = err
+					close(st.done)
+					break
+				}
+				st.jobs = jobs
+				st.runs = make([]Run, len(jobs))
+				st.remaining.Store(int64(len(jobs)))
+			}
+			select {
+			case admit <- struct{}{}:
+			case <-pctx.Done():
+				return
+			}
+			select {
+			case order <- st:
+			case <-pctx.Done():
+				return
+			}
+			for i := range st.jobs {
+				select {
+				case jobCh <- batchJob{st: st, idx: i}:
+				case <-pctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bj := range jobCh {
+				st := bj.st
+				select {
+				case <-pctx.Done():
+					// Count the job down but mark the instance
+					// skipped so a partial result is never emitted.
+					st.skipped.Store(true)
+				default:
+					st.prepOnce.Do(st.prepare)
+					if st.err == nil {
+						st.runs[bj.idx] = execute(st.jobs[bj.idx], st.prepSBO, st.prepRLS)
+					}
+					if testHookAfterRun != nil {
+						testHookAfterRun()
+					}
+				}
+				if st.remaining.Add(-1) == 0 {
+					close(st.done)
+				}
+			}
+		}()
+	}
+
+	// Emit completed instances in admission order. A state whose jobs
+	// were skipped (or never all enqueued) only occurs under
+	// cancellation, which ctx.Err() reports below.
+	var emitErr error
+emitting:
+	for st := range order {
+		select {
+		case <-st.done:
+		case <-pctx.Done():
+			// A completed instance takes precedence over simultaneous
+			// cancellation so a fully swept front is never dropped.
+			select {
+			case <-st.done:
+			default:
+				break emitting
+			}
+		}
+		if st.skipped.Load() {
+			break emitting
+		}
+		br := BatchResult{Index: st.index, Err: st.err, Tag: st.tag}
+		if st.err == nil {
+			br.Result = &Result{Bounds: st.bounds, Runs: st.runs, Front: assembleFront(st.runs)}
+		}
+		// Drop the prepared state before emitting: only the Result —
+		// now owned by the caller — outlives this iteration.
+		st.prepSBO, st.prepRLS = nil, nil
+		if err := emit(br); err != nil {
+			emitErr = err
+			break
+		}
+		<-admit
+	}
+	cancel()
+	wg.Wait()
+	if emitErr != nil {
+		return emitErr
+	}
+	return ctx.Err()
+}

@@ -18,16 +18,21 @@
 //   - results land at their job's index, so Result.Runs and the front
 //     are deterministic regardless of goroutine interleaving;
 //   - the sweep honours context cancellation between jobs.
+//
+// SweepBatch generalizes the engine to many instances: all (instance,
+// algorithm, δ) jobs share one worker pool, per-instance prepared
+// state is still memoized exactly once, and per-instance Results
+// stream to a callback in instance order with at most
+// BatchConfig.MaxPending instances held in memory — fronts for
+// thousands of instances never accumulate. Sweep itself is the
+// single-instance special case.
 package engine
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"storagesched/internal/bounds"
 	"storagesched/internal/core"
@@ -154,12 +159,15 @@ func (res *Result) FrontValues() []model.Value {
 }
 
 // LinearGrid returns n evenly spaced δ values covering [lo, hi]. It
-// panics if lo <= 0, hi < lo, or n < 1 (programmer error: δ must be
-// positive and the grid non-empty).
-func LinearGrid(lo, hi float64, n int) []float64 {
-	checkGrid(lo, hi, n)
+// reports an error if lo is not a positive finite number, hi is not a
+// finite number ≥ lo, or n < 1 — δ must be positive and the grid
+// non-empty.
+func LinearGrid(lo, hi float64, n int) ([]float64, error) {
+	if err := checkGrid(lo, hi, n); err != nil {
+		return nil, err
+	}
 	if n == 1 {
-		return []float64{lo}
+		return []float64{lo}, nil
 	}
 	out := make([]float64, n)
 	step := (hi - lo) / float64(n-1)
@@ -167,16 +175,19 @@ func LinearGrid(lo, hi float64, n int) []float64 {
 		out[i] = lo + float64(i)*step
 	}
 	out[n-1] = hi
-	return out
+	return out, nil
 }
 
 // GeometricGrid returns n geometrically spaced δ values covering
 // [lo, hi] — the natural grid for δ, whose two guarantees trade off as
-// (1+δ) against (1+1/δ). Panics on the same conditions as LinearGrid.
-func GeometricGrid(lo, hi float64, n int) []float64 {
-	checkGrid(lo, hi, n)
+// (1+δ) against (1+1/δ). It errors on the same conditions as
+// LinearGrid.
+func GeometricGrid(lo, hi float64, n int) ([]float64, error) {
+	if err := checkGrid(lo, hi, n); err != nil {
+		return nil, err
+	}
 	if n == 1 {
-		return []float64{lo}
+		return []float64{lo}, nil
 	}
 	out := make([]float64, n)
 	ratio := hi / lo
@@ -184,13 +195,14 @@ func GeometricGrid(lo, hi float64, n int) []float64 {
 		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
 	}
 	out[n-1] = hi
-	return out
+	return out, nil
 }
 
-func checkGrid(lo, hi float64, n int) {
-	if !(lo > 0) || hi < lo || n < 1 {
-		panic(fmt.Sprintf("engine: invalid grid lo=%g hi=%g n=%d", lo, hi, n))
+func checkGrid(lo, hi float64, n int) error {
+	if !(lo > 0) || !(hi >= lo) || math.IsInf(lo, 1) || math.IsInf(hi, 1) || n < 1 {
+		return fmt.Errorf("engine: invalid grid lo=%g hi=%g n=%d (need 0 < lo <= hi finite, n >= 1)", lo, hi, n)
 	}
+	return nil
 }
 
 // testHookAfterRun, when non-nil, is invoked by workers after each
@@ -208,81 +220,23 @@ type job struct {
 // Sweep evaluates the configured algorithms over the δ-grid with a
 // worker pool and assembles the approximate Pareto front. On context
 // cancellation it abandons the remaining jobs and returns ctx.Err().
+//
+// Sweep is the single-instance form of SweepBatch: to sweep many
+// instances, batch them — the worker pool is then shared across
+// instances, so it never idles at instance boundaries.
 func Sweep(ctx context.Context, in *model.Instance, cfg Config) (*Result, error) {
-	jobs, err := buildJobs(cfg)
+	var out *Result
+	err := SweepBatch(ctx, BatchOf(in), BatchConfig{Config: cfg}, func(br BatchResult) error {
+		if br.Err != nil {
+			return br.Err
+		}
+		out = br.Result
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Memoized per-instance state, computed once for the whole sweep.
-	// At least one prep always runs (buildJobs rejects an empty
-	// selection) and each validates the instance, so ForInstance
-	// below only sees well-formed input.
-	var prepSBO *core.SBOPrepared
-	if !cfg.SkipSBO {
-		algC, algM := cfg.AlgC, cfg.AlgM
-		if algC == nil {
-			algC = makespan.LPT{}
-		}
-		if algM == nil {
-			algM = makespan.LPT{}
-		}
-		prepSBO, err = core.PrepareSBO(in, algC, algM)
-		if err != nil {
-			return nil, err
-		}
-	}
-	var prepRLS *core.RLSPrepared
-	if hasRLS(jobs) {
-		ties := cfg.Ties
-		if ties == nil {
-			ties = DefaultTies
-		}
-		prepRLS, err = core.PrepareRLSIndependent(in, ties...)
-		if err != nil {
-			return nil, err
-		}
-	}
-	rec := bounds.ForInstance(in)
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	runs := make([]Run, len(jobs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				select {
-				case <-ctx.Done():
-					return
-				default:
-				}
-				runs[i] = execute(jobs[i], prepSBO, prepRLS)
-				if testHookAfterRun != nil {
-					testHookAfterRun()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	return &Result{Bounds: rec, Runs: runs, Front: assembleFront(runs)}, nil
+	return out, nil
 }
 
 // buildJobs lays out the deterministic job list: grid-major, SBO then

@@ -13,7 +13,16 @@ import (
 	"storagesched/internal/pareto"
 )
 
-func testGrid() []float64 { return GeometricGrid(0.25, 8, 16) }
+// mustGrid unwraps a grid constructor in tests, where the inputs are
+// known-valid.
+func mustGrid(g []float64, err error) []float64 {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func testGrid() []float64 { return mustGrid(GeometricGrid(0.25, 8, 16)) }
 
 func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	in := gen.Uniform(120, 8, 7)
@@ -89,7 +98,7 @@ func TestSweepAgreesWithExactFront(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Sweep(context.Background(), in, Config{Deltas: GeometricGrid(0.125, 16, 32)})
+		res, err := Sweep(context.Background(), in, Config{Deltas: mustGrid(GeometricGrid(0.125, 16, 32))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,33 +242,42 @@ func TestSweepConfigValidation(t *testing.T) {
 }
 
 func TestGrids(t *testing.T) {
-	lin := LinearGrid(1, 5, 5)
+	lin := mustGrid(LinearGrid(1, 5, 5))
 	if !reflect.DeepEqual(lin, []float64{1, 2, 3, 4, 5}) {
 		t.Errorf("LinearGrid = %v", lin)
 	}
-	geo := GeometricGrid(0.25, 4, 5)
+	geo := mustGrid(GeometricGrid(0.25, 4, 5))
 	want := []float64{0.25, 0.5, 1, 2, 4}
 	for i := range geo {
 		if math.Abs(geo[i]-want[i]) > 1e-12 {
 			t.Errorf("GeometricGrid[%d] = %g, want %g", i, geo[i], want[i])
 		}
 	}
-	if g := LinearGrid(3, 3, 1); !reflect.DeepEqual(g, []float64{3}) {
+	if g := mustGrid(LinearGrid(3, 3, 1)); !reflect.DeepEqual(g, []float64{3}) {
 		t.Errorf("single-point grid = %v", g)
 	}
-	for _, f := range []func(){
-		func() { LinearGrid(0, 1, 3) },
-		func() { LinearGrid(2, 1, 3) },
-		func() { GeometricGrid(1, 2, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("invalid grid did not panic")
-				}
-			}()
-			f()
-		}()
+	// Invalid grids report errors (not panics): CLI users get a
+	// message, not a stack trace.
+	bad := []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 1, 3},
+		{-1, 1, 3},
+		{2, 1, 3},
+		{1, 2, 0},
+		{math.NaN(), 2, 3},
+		{1, math.NaN(), 3},
+		{1, math.Inf(1), 3},
+		{math.Inf(1), math.Inf(1), 3},
+	}
+	for _, c := range bad {
+		if _, err := LinearGrid(c.lo, c.hi, c.n); err == nil {
+			t.Errorf("LinearGrid(%g, %g, %d): no error", c.lo, c.hi, c.n)
+		}
+		if _, err := GeometricGrid(c.lo, c.hi, c.n); err == nil {
+			t.Errorf("GeometricGrid(%g, %g, %d): no error", c.lo, c.hi, c.n)
+		}
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"storagesched/internal/engine"
 )
 
 // Experiment is one reproducible unit: a figure, lemma, corollary or
@@ -37,6 +39,27 @@ func SetSweepWorkers(n int) {
 		n = 0
 	}
 	sweepWorkers = n
+}
+
+// sweepPending overrides the batch in-flight window of engine-backed
+// experiments; 0 keeps the engine default (2× the worker count).
+var sweepPending int
+
+// SetSweepPending sets the maximum number of in-flight instances used
+// by the batch-backed experiments (cmd/experiments exposes it as
+// -pending). n <= 0 restores the default.
+func SetSweepPending(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sweepPending = n
+}
+
+// batchConfig wraps a per-instance sweep config with the experiment
+// overrides for the shared pool and streaming window.
+func batchConfig(cfg engine.Config) engine.BatchConfig {
+	cfg.Workers = sweepWorkers
+	return engine.BatchConfig{Config: cfg, MaxPending: sweepPending}
 }
 
 // registry is populated by the per-file init functions.

@@ -134,11 +134,11 @@ func runCor4(w io.Writer) error {
 	fmt.Fprintf(w, "%-16s %6s  %9s %9s  %9s %6s  %9s %9s\n",
 		"family", "delta", "Cmax/LB", "bound", "Mmax/LB", "d", "SumCi/opt", "2+1/(d-2)")
 	for _, fam := range gen.Families() {
-		// One engine sweep per seed covers the whole δ-grid with the
-		// SPT tie-break; the lower-bound record is memoized by the
-		// engine, so each instance is bounded once instead of once
-		// per δ. Runs come back in grid order, so the table is
-		// identical to the old serial loop.
+		// One batch sweep per family streams all seeds through the
+		// shared pool with the SPT tie-break; the lower-bound record is
+		// memoized by the engine, so each instance is bounded once
+		// instead of once per δ. Runs come back in grid order, so the
+		// table is identical to the old serial loop.
 		accC := make([]*stats.Acc, len(deltas))
 		accM := make([]*stats.Acc, len(deltas))
 		accS := make([]*stats.Acc, len(deltas))
@@ -147,32 +147,40 @@ func runCor4(w io.Writer) error {
 			accM[i] = stats.NewAcc(false)
 			accS[i] = stats.NewAcc(false)
 		}
-		for _, seed := range seeds {
-			in := fam.Gen(n, m, seed)
-			res, err := engine.Sweep(context.Background(), in, engine.Config{
+		ins := make([]*model.Instance, len(seeds))
+		for i, seed := range seeds {
+			ins[i] = fam.Gen(n, m, seed)
+		}
+		err := engine.SweepBatch(context.Background(), engine.BatchOf(ins...),
+			batchConfig(engine.Config{
 				Deltas:  deltas,
-				Workers: sweepWorkers,
 				Ties:    []core.TieBreak{core.TieSPT},
 				SkipSBO: true,
+			}),
+			func(br engine.BatchResult) error {
+				if br.Err != nil {
+					return br.Err
+				}
+				rec := br.Result.Bounds
+				for i, run := range br.Result.Runs {
+					if run.Err != nil {
+						return run.Err
+					}
+					// The engine drops RLS jobs for δ < 2, so a grid
+					// edit could silently misalign runs and
+					// accumulators.
+					if run.Delta != deltas[i] {
+						return fmt.Errorf("COR4: run %d has delta %g, want %g (all grid deltas must be >= 2)",
+							i, run.Delta, deltas[i])
+					}
+					accC[i].Add(float64(run.RLS.Cmax) / float64(rec.CmaxLB))
+					accM[i].Add(float64(run.RLS.Mmax) / float64(rec.MmaxLB))
+					accS[i].Add(float64(run.RLS.SumCi) / float64(rec.SumCiLB))
+				}
+				return nil
 			})
-			if err != nil {
-				return err
-			}
-			rec := res.Bounds
-			for i, run := range res.Runs {
-				if run.Err != nil {
-					return run.Err
-				}
-				// The engine drops RLS jobs for δ < 2, so a grid edit
-				// could silently misalign runs and accumulators.
-				if run.Delta != deltas[i] {
-					return fmt.Errorf("COR4: run %d has delta %g, want %g (all grid deltas must be >= 2)",
-						i, run.Delta, deltas[i])
-				}
-				accC[i].Add(float64(run.RLS.Cmax) / float64(rec.CmaxLB))
-				accM[i].Add(float64(run.RLS.Mmax) / float64(rec.MmaxLB))
-				accS[i].Add(float64(run.RLS.SumCi) / float64(rec.SumCiLB))
-			}
+		if err != nil {
+			return err
 		}
 		for i, d := range deltas {
 			cBound := core.RLSCmaxRatio(d, m)

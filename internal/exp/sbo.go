@@ -10,6 +10,7 @@ import (
 	"storagesched/internal/gen"
 	"storagesched/internal/hardness"
 	"storagesched/internal/makespan"
+	"storagesched/internal/model"
 	"storagesched/internal/pareto"
 	"storagesched/internal/stats"
 )
@@ -49,40 +50,47 @@ func runProp12(w io.Writer) error {
 	fmt.Fprintf(w, "families x deltas, n=%d m=%d, %d seeds, sub-algorithm LPT; worst ratios over seeds\n\n", n, m, len(seeds))
 	fmt.Fprintf(w, "%-16s %6s  %10s %10s  %10s %10s\n", "family", "delta", "Cmax/C", "(1+d)", "Mmax/M", "(1+1/d)")
 	for _, fam := range gen.Families() {
-		// One engine sweep per seed covers the whole δ-grid; the
-		// sub-schedules π1/π2 are computed once per instance and the
-		// runs come back in grid order, so the table is identical to
-		// the old serial loop.
+		// One batch sweep per family streams all seeds through the
+		// shared worker pool; the sub-schedules π1/π2 are computed once
+		// per instance and the runs come back in grid order, so the
+		// table is identical to the old serial loop.
 		accC := make([]*stats.Acc, len(deltas))
 		accM := make([]*stats.Acc, len(deltas))
 		for i := range deltas {
 			accC[i] = stats.NewAcc(false)
 			accM[i] = stats.NewAcc(false)
 		}
-		for _, seed := range seeds {
-			in := fam.Gen(n, m, seed)
-			res, err := engine.Sweep(context.Background(), in, engine.Config{
+		ins := make([]*model.Instance, len(seeds))
+		for i, seed := range seeds {
+			ins[i] = fam.Gen(n, m, seed)
+		}
+		err := engine.SweepBatch(context.Background(), engine.BatchOf(ins...),
+			batchConfig(engine.Config{
 				Deltas:  deltas,
-				Workers: sweepWorkers,
 				AlgC:    makespan.LPT{},
 				AlgM:    makespan.LPT{},
 				SkipRLS: true,
+			}),
+			func(br engine.BatchResult) error {
+				if br.Err != nil {
+					return br.Err
+				}
+				for i, run := range br.Result.Runs {
+					if run.Err != nil {
+						return run.Err
+					}
+					if run.Delta != deltas[i] {
+						return fmt.Errorf("PROP12: run %d has delta %g, want %g", i, run.Delta, deltas[i])
+					}
+					accC[i].Add(float64(run.SBO.Cmax) / float64(run.SBO.C))
+					if run.SBO.M > 0 {
+						accM[i].Add(float64(run.SBO.Mmax) / float64(run.SBO.M))
+					}
+				}
+				return nil
 			})
-			if err != nil {
-				return err
-			}
-			for i, run := range res.Runs {
-				if run.Err != nil {
-					return run.Err
-				}
-				if run.Delta != deltas[i] {
-					return fmt.Errorf("PROP12: run %d has delta %g, want %g", i, run.Delta, deltas[i])
-				}
-				accC[i].Add(float64(run.SBO.Cmax) / float64(run.SBO.C))
-				if run.SBO.M > 0 {
-					accM[i].Add(float64(run.SBO.Mmax) / float64(run.SBO.M))
-				}
-			}
+		if err != nil {
+			return err
 		}
 		for i, d := range deltas {
 			cb, mb := 1+d, 1+1/d

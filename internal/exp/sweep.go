@@ -7,13 +7,14 @@ import (
 
 	"storagesched/internal/engine"
 	"storagesched/internal/gen"
+	"storagesched/internal/model"
 	"storagesched/internal/pareto"
 )
 
 func init() {
 	register(Experiment{
 		ID:    "SWEEP",
-		Title: "Approximate Pareto fronts — parallel δ-sweep of SBO and RLS",
+		Title: "Approximate Pareto fronts — batched δ-sweep of SBO and RLS",
 		Paper: "the (1+d, 1+1/d) family swept over d; non-dominated hull vs the exact front where enumerable",
 		Run:   runSweep,
 	})
@@ -21,67 +22,92 @@ func init() {
 
 func runSweep(w io.Writer) error {
 	ctx := context.Background()
+	grid, err := engine.GeometricGrid(0.125, 16, 32)
+	if err != nil {
+		return err
+	}
 
-	// Small instances: the swept front must never claim a point below
-	// the exact front, and should cover a good share of it.
-	fmt.Fprintf(w, "small instances (n=10, m=3): swept front vs exact enumeration\n\n")
-	fmt.Fprintf(w, "%-6s %-8s %-8s %-10s\n", "seed", "exact", "swept", "matched")
-	grid := engine.GeometricGrid(0.125, 16, 32)
-	for _, seed := range []int64{31, 32, 33, 34} {
+	// One batch sweeps the four enumerable instances and the large one
+	// through a single shared worker pool, streaming each front out in
+	// instance order.
+	smallSeeds := []int64{31, 32, 33, 34}
+	ins := make([]*model.Instance, 0, len(smallSeeds)+1)
+	exacts := make([][]pareto.Point, len(smallSeeds))
+	for i, seed := range smallSeeds {
 		in := gen.Uniform(10, 3, seed)
 		exact, err := pareto.Front(in)
 		if err != nil {
 			return err
 		}
-		res, err := engine.Sweep(ctx, in, engine.Config{Deltas: grid, Workers: sweepWorkers})
-		if err != nil {
-			return err
-		}
-		matched := 0
-		for _, p := range res.Front {
-			// Dominated by the exact front is fine (approximation);
-			// below it would mean a miscounted objective.
-			covered, onFront := false, false
-			for _, q := range exact {
-				if q.Value == p.Value {
-					onFront = true
-				}
-				if q.Value.WeaklyDominates(p.Value) {
-					covered = true
-				}
-			}
-			if !covered {
-				return fmt.Errorf("seed %d: swept point %v below the exact front", seed, p.Value)
-			}
-			if onFront {
-				matched++
-			}
-		}
-		fmt.Fprintf(w, "%-6d %-8d %-8d %-10d\n", seed, len(exact), len(res.Front), matched)
+		ins = append(ins, in)
+		exacts[i] = exact
 	}
+	large := gen.EmbeddedCode(200, 16, 99)
+	ins = append(ins, large)
 
-	// Large instance: far beyond the enumerator's reach; report the
-	// front with provenance and check internal non-domination.
-	in := gen.EmbeddedCode(200, 16, 99)
-	res, err := engine.Sweep(ctx, in, engine.Config{Deltas: grid, Workers: sweepWorkers})
+	// Small instances: the swept front must never claim a point below
+	// the exact front, and should cover a good share of it.
+	fmt.Fprintf(w, "small instances (n=10, m=3): swept front vs exact enumeration, one batch with the large instance\n\n")
+	fmt.Fprintf(w, "%-6s %-8s %-8s %-10s\n", "seed", "exact", "swept", "matched")
+
+	err = engine.SweepBatch(ctx, engine.BatchOf(ins...),
+		batchConfig(engine.Config{Deltas: grid}),
+		func(br engine.BatchResult) error {
+			if br.Err != nil {
+				return br.Err
+			}
+			res := br.Result
+			if br.Index < len(smallSeeds) {
+				seed := smallSeeds[br.Index]
+				exact := exacts[br.Index]
+				matched := 0
+				for _, p := range res.Front {
+					// Dominated by the exact front is fine
+					// (approximation); below it would mean a
+					// miscounted objective.
+					covered, onFront := false, false
+					for _, q := range exact {
+						if q.Value == p.Value {
+							onFront = true
+						}
+						if q.Value.WeaklyDominates(p.Value) {
+							covered = true
+						}
+					}
+					if !covered {
+						return fmt.Errorf("seed %d: swept point %v below the exact front", seed, p.Value)
+					}
+					if onFront {
+						matched++
+					}
+				}
+				fmt.Fprintf(w, "%-6d %-8d %-8d %-10d\n", seed, len(exact), len(res.Front), matched)
+				return nil
+			}
+
+			// Large instance: far beyond the enumerator's reach; report
+			// the front with provenance and check internal
+			// non-domination.
+			fmt.Fprintf(w, "\nlarge instance (n=200, m=16): %d runs -> %d front points (Cmax LB=%d, Mmax LB=%d)\n\n",
+				len(res.Runs), len(res.Front), res.Bounds.CmaxLB, res.Bounds.MmaxLB)
+			fmt.Fprintf(w, "%-10s %-10s %-9s %-9s %s\n", "Cmax", "Mmax", "Cmax/LB", "Mmax/LB", "witness")
+			for i, p := range res.Front {
+				if i > 0 {
+					prev := res.Front[i-1].Value
+					if p.Value.Cmax <= prev.Cmax || p.Value.Mmax >= prev.Mmax {
+						return fmt.Errorf("front not non-dominated at %d: %v after %v", i, p.Value, prev)
+					}
+				}
+				fmt.Fprintf(w, "%-10d %-10d %-9.4f %-9.4f %s\n",
+					p.Value.Cmax, p.Value.Mmax,
+					float64(p.Value.Cmax)/float64(res.Bounds.CmaxLB),
+					float64(p.Value.Mmax)/float64(res.Bounds.MmaxLB),
+					res.Runs[p.RunIndex].Label())
+			}
+			return nil
+		})
 	if err != nil {
 		return err
-	}
-	fmt.Fprintf(w, "\nlarge instance (n=200, m=16): %d runs -> %d front points (Cmax LB=%d, Mmax LB=%d)\n\n",
-		len(res.Runs), len(res.Front), res.Bounds.CmaxLB, res.Bounds.MmaxLB)
-	fmt.Fprintf(w, "%-10s %-10s %-9s %-9s %s\n", "Cmax", "Mmax", "Cmax/LB", "Mmax/LB", "witness")
-	for i, p := range res.Front {
-		if i > 0 {
-			prev := res.Front[i-1].Value
-			if p.Value.Cmax <= prev.Cmax || p.Value.Mmax >= prev.Mmax {
-				return fmt.Errorf("front not non-dominated at %d: %v after %v", i, p.Value, prev)
-			}
-		}
-		fmt.Fprintf(w, "%-10d %-10d %-9.4f %-9.4f %s\n",
-			p.Value.Cmax, p.Value.Mmax,
-			float64(p.Value.Cmax)/float64(res.Bounds.CmaxLB),
-			float64(p.Value.Mmax)/float64(res.Bounds.MmaxLB),
-			res.Runs[p.RunIndex].Label())
 	}
 	fmt.Fprintf(w, "\nshape: walking the front trades Cmax for Mmax exactly as the (1+d, 1+1/d) family predicts\n")
 	return nil

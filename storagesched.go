@@ -40,8 +40,9 @@
 // approximate front that scales to arbitrary instance sizes:
 //
 //	in := storagesched.GenUniform(200, 16, 1)
+//	grid, err := storagesched.SweepGeometricGrid(0.25, 8, 32)
 //	res, err := storagesched.Sweep(context.Background(), in,
-//		storagesched.SweepConfig{Deltas: storagesched.SweepGeometricGrid(0.25, 8, 32)})
+//		storagesched.SweepConfig{Deltas: grid})
 //	for _, p := range res.Front {
 //		fmt.Println(p.Value, res.Runs[p.RunIndex].Label())
 //	}
@@ -51,11 +52,37 @@
 // interleaving. Per-instance state (lower bounds, the SBO
 // sub-schedules, the RLS tie-break orders) is computed once per sweep,
 // not once per run; cancel the context to abandon a sweep mid-flight.
+//
+// # Batched sweeps
+//
+// Experiments sweep families × seeds of instances back to back.
+// SweepBatch runs all of them through one shared worker pool — the
+// pool never idles at instance boundaries — and streams each
+// per-instance SweepResult to a callback in instance order, holding at
+// most BatchConfig.MaxPending instances in memory however many the
+// input sequence yields:
+//
+//	err := storagesched.SweepBatch(ctx,
+//		storagesched.BatchOf(instances...),
+//		storagesched.BatchConfig{Config: storagesched.SweepConfig{Deltas: grid}},
+//		func(br storagesched.BatchResult) error {
+//			if br.Err != nil {
+//				return br.Err // or log and continue
+//			}
+//			fmt.Println(br.Index, br.Result.FrontValues())
+//			return nil
+//		})
+//
+// Each streamed Result is identical to what Sweep would return for the
+// same instance and config, whatever the worker count. Items may carry
+// per-instance config overrides, and a bad instance fails alone —
+// BatchResult.Err — without stopping the batch.
 package storagesched
 
 import (
 	"context"
 	"io"
+	"iter"
 
 	"storagesched/internal/bounds"
 	"storagesched/internal/core"
@@ -246,12 +273,41 @@ func Sweep(ctx context.Context, in *Instance, cfg SweepConfig) (*SweepResult, er
 	return engine.Sweep(ctx, in, cfg)
 }
 
-// SweepLinearGrid returns n evenly spaced δ values covering [lo, hi].
-func SweepLinearGrid(lo, hi float64, n int) []float64 { return engine.LinearGrid(lo, hi, n) }
+// Batched multi-instance sweeps (streaming fronts in bounded memory).
+type (
+	// BatchItem is one instance of a batch sweep with an optional
+	// per-instance config override or source error.
+	BatchItem = engine.BatchItem
+	// BatchConfig is the batch-wide sweep default plus the shared pool
+	// size (Workers) and the streaming window (MaxPending).
+	BatchConfig = engine.BatchConfig
+	// BatchResult is one instance's sweep outcome, streamed in
+	// instance order.
+	BatchResult = engine.BatchResult
+)
+
+// SweepBatch sweeps every instance of items through one shared worker
+// pool and streams each per-instance SweepResult to emit in instance
+// order; at most cfg.MaxPending instances are held in memory at once.
+// See the package documentation.
+func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig, emit func(BatchResult) error) error {
+	return engine.SweepBatch(ctx, items, cfg, emit)
+}
+
+// BatchOf adapts a slice of instances to the item sequence SweepBatch
+// consumes.
+func BatchOf(instances ...*Instance) iter.Seq[BatchItem] { return engine.BatchOf(instances...) }
+
+// SweepLinearGrid returns n evenly spaced δ values covering [lo, hi],
+// or an error for an invalid grid shape.
+func SweepLinearGrid(lo, hi float64, n int) ([]float64, error) { return engine.LinearGrid(lo, hi, n) }
 
 // SweepGeometricGrid returns n geometrically spaced δ values covering
-// [lo, hi] — the natural spacing for the (1+δ, 1+1/δ) trade-off.
-func SweepGeometricGrid(lo, hi float64, n int) []float64 { return engine.GeometricGrid(lo, hi, n) }
+// [lo, hi] — the natural spacing for the (1+δ, 1+1/δ) trade-off — or
+// an error for an invalid grid shape.
+func SweepGeometricGrid(lo, hi float64, n int) ([]float64, error) {
+	return engine.GeometricGrid(lo, hi, n)
+}
 
 // Rendering.
 type GanttOptions = gantt.Options

@@ -29,7 +29,10 @@ func TestFacadeQuickstart(t *testing.T) {
 // 200-task instance returns a deterministic non-dominated front.
 func TestFacadeSweep(t *testing.T) {
 	in := GenUniform(200, 16, 1)
-	grid := SweepGeometricGrid(0.25, 8, 32)
+	grid, err := SweepGeometricGrid(0.25, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var first *SweepResult
 	for _, workers := range []int{1, 4, 0} { // serial, fixed, NumCPU
 		res, err := Sweep(context.Background(), in, SweepConfig{Deltas: grid, Workers: workers})
@@ -58,6 +61,56 @@ func TestFacadeSweep(t *testing.T) {
 	}
 	if first.Bounds.MmaxLB != MemLB(in.S(), in.M) {
 		t.Errorf("sweep bounds record disagrees with MemLB")
+	}
+}
+
+// TestFacadeSweepBatch streams a small instance family through the
+// batch engine and checks each front equals its standalone sweep.
+func TestFacadeSweepBatch(t *testing.T) {
+	grid, err := SweepGeometricGrid(0.5, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := []*Instance{
+		GenUniform(60, 4, 1),
+		GenEmbeddedCode(60, 4, 2),
+		GenGridBatch(60, 4, 3),
+	}
+	cfg := BatchConfig{Config: SweepConfig{Deltas: grid, Workers: 2}, MaxPending: 2}
+	next := 0
+	err = SweepBatch(context.Background(), BatchOf(instances...), cfg,
+		func(br BatchResult) error {
+			if br.Err != nil {
+				t.Fatalf("instance %d: %v", br.Index, br.Err)
+			}
+			if br.Index != next {
+				t.Fatalf("result index %d, want %d", br.Index, next)
+			}
+			next++
+			solo, err := Sweep(context.Background(), instances[br.Index], cfg.Config)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(br.Result.Front, solo.Front) {
+				t.Errorf("instance %d: batch front %v, standalone %v",
+					br.Index, br.Result.Front, solo.Front)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("SweepBatch: %v", err)
+	}
+	if next != len(instances) {
+		t.Fatalf("emitted %d results, want %d", next, len(instances))
+	}
+}
+
+func TestFacadeGridErrors(t *testing.T) {
+	if _, err := SweepGeometricGrid(0, 8, 32); err == nil {
+		t.Error("SweepGeometricGrid accepted lo=0")
+	}
+	if _, err := SweepLinearGrid(4, 2, 8); err == nil {
+		t.Error("SweepLinearGrid accepted hi < lo")
 	}
 }
 

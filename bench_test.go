@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"storagesched/internal/core"
+	"storagesched/internal/dag"
 	"storagesched/internal/engine"
 	"storagesched/internal/exp"
 	"storagesched/internal/gen"
@@ -71,7 +72,8 @@ func BenchmarkEXT4(b *testing.B) { benchExperiment(b, "EXT4") }
 
 // Sweep engine.
 
-func BenchmarkSWEEP(b *testing.B) { benchExperiment(b, "SWEEP") }
+func BenchmarkSWEEP(b *testing.B)    { benchExperiment(b, "SWEEP") }
+func BenchmarkDAGSWEEP(b *testing.B) { benchExperiment(b, "DAGSWEEP") }
 
 // benchSweep runs the acceptance workload — a 32-point δ-grid over a
 // 200-task instance, SBO plus all four RLS tie-breaks — at a fixed
@@ -166,6 +168,40 @@ func BenchmarkSweepBatch_n50(b *testing.B) {
 		}
 		if emitted != len(ins) {
 			b.Fatalf("emitted %d fronts, want %d", emitted, len(ins))
+		}
+	}
+}
+
+// DAG batch sweeps: 30 layered graphs through one shared pool — the
+// graph analogue of BenchmarkSweepBatch_n50, tracking the prepared-RLS
+// path (memoized topological structure and tie ranks) in the
+// BENCH_sweep.json artifact. Matched by the CI `-bench BenchmarkSweep`
+// pattern alongside the instance benchmarks.
+func BenchmarkSweepBatchDAG_n30(b *testing.B) {
+	graphs := make([]*dag.Graph, 30)
+	for i := range graphs {
+		graphs[i] = gen.LayeredDAG(8, 25, 4, int64(i+1)) // 100 nodes each
+	}
+	grid, err := engine.GeometricGrid(2.5, 8, 2)
+	cfg := engine.Config{Deltas: benchGrid(b, grid, err), Workers: runtime.NumCPU()}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emitted := 0
+		err := engine.SweepBatch(ctx, engine.BatchOfGraphs(graphs...), engine.BatchConfig{Config: cfg},
+			func(br engine.BatchResult) error {
+				if br.Err != nil {
+					return br.Err
+				}
+				emitted++
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if emitted != len(graphs) {
+			b.Fatalf("emitted %d fronts, want %d", emitted, len(graphs))
 		}
 	}
 }

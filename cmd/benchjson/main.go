@@ -6,8 +6,16 @@
 //	benchjson -in bench.txt -out BENCH_sweep.json
 //
 // Repeated samples of one benchmark (from -count) are grouped under a
-// single entry with min/mean ns-per-op summaries, which makes
-// regression diffs between artifacts a one-line jq comparison.
+// single entry with min/mean ns-per-op summaries.
+//
+// The -diff mode compares two such artifacts — the CI regression gate
+// downloads the base branch's artifact and fails the build when any
+// benchmark's mean ns/op regressed by more than -threshold percent:
+//
+//	benchjson -diff BENCH_base.json -head BENCH_sweep.json -threshold 20
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate (new benchmarks must not brick their own introduction PR).
 package main
 
 import (
@@ -51,7 +59,28 @@ type Report struct {
 func main() {
 	inPath := flag.String("in", "", "benchmark text output (default: stdin)")
 	outPath := flag.String("out", "", "JSON artifact path (default: stdout)")
+	diffPath := flag.String("diff", "", "baseline JSON artifact; switches to diff mode against -head")
+	headPath := flag.String("head", "", "JSON artifact to compare against the -diff baseline")
+	threshold := flag.Float64("threshold", 20, "diff mode: fail when mean ns/op regresses by more than this percent")
 	flag.Parse()
+
+	if *diffPath != "" {
+		if *headPath == "" {
+			fatal(fmt.Errorf("-diff needs -head, the artifact to compare against the baseline"))
+		}
+		base, err := readReport(*diffPath)
+		if err != nil {
+			fatal(err)
+		}
+		head, err := readReport(*headPath)
+		if err != nil {
+			fatal(err)
+		}
+		if Diff(os.Stdout, base, head, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *inPath != "" {
@@ -167,6 +196,63 @@ func Parse(r io.Reader) (*Report, error) {
 		b.SampleLen = len(b.Samples)
 	}
 	return rep, nil
+}
+
+// readReport decodes a JSON artifact previously written by this tool.
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &Report{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Diff compares mean ns/op per benchmark between a baseline and a head
+// artifact, writing one row per benchmark, and reports whether any
+// benchmark regressed by more than threshold percent. Benchmarks
+// present on only one side are listed but do not regress the gate.
+func Diff(w io.Writer, base, head *Report, threshold float64) bool {
+	baseline := map[string]*Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-40s %14s %14s %9s  %s\n", "benchmark", "base ns/op", "head ns/op", "delta", "status")
+	regressed := false
+	for _, h := range head.Benchmarks {
+		b, ok := baseline[h.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.0f %9s  new\n", h.Name, "-", h.MeanNsOp, "-")
+			continue
+		}
+		delete(baseline, h.Name)
+		if b.MeanNsOp <= 0 {
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %9s  skipped (zero baseline)\n", h.Name, b.MeanNsOp, h.MeanNsOp, "-")
+			continue
+		}
+		pct := (h.MeanNsOp - b.MeanNsOp) / b.MeanNsOp * 100
+		status := "ok"
+		if pct > threshold {
+			status = fmt.Sprintf("REGRESSED (> %+.0f%%)", threshold)
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%%  %s\n", h.Name, b.MeanNsOp, h.MeanNsOp, pct, status)
+	}
+	// Stable order for benchmarks that disappeared: follow the base
+	// artifact's own ordering.
+	for _, b := range base.Benchmarks {
+		if _, gone := baseline[b.Name]; gone {
+			fmt.Fprintf(w, "%-40s %14.0f %14s %9s  removed\n", b.Name, b.MeanNsOp, "-", "-")
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "\nFAIL: at least one benchmark mean regressed by more than %g%%\n", threshold)
+	}
+	return regressed
 }
 
 // splitProcs separates the "-N" GOMAXPROCS suffix from a benchmark

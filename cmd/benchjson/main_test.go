@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -96,5 +98,96 @@ func TestSplitProcs(t *testing.T) {
 		if name != c.name || procs != c.procs {
 			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
 		}
+	}
+}
+
+func mkReport(names []string, means []float64) *Report {
+	rep := &Report{}
+	for i, name := range names {
+		rep.Benchmarks = append(rep.Benchmarks, &Benchmark{
+			Name:      name,
+			Samples:   []Sample{{Iterations: 1, NsPerOp: means[i]}},
+			MinNsOp:   means[i],
+			MeanNsOp:  means[i],
+			SampleLen: 1,
+		})
+	}
+	return rep
+}
+
+func TestDiffDetectsRegression(t *testing.T) {
+	base := mkReport([]string{"A", "B", "C"}, []float64{100, 100, 100})
+	head := mkReport([]string{"A", "B", "C"}, []float64{119, 121, 80})
+	var buf strings.Builder
+	if regressed := Diff(&buf, base, head, 20); !regressed {
+		t.Fatalf("21%% regression not flagged:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "FAIL") {
+		t.Errorf("missing regression markers:\n%s", out)
+	}
+	// A (+19%) and C (-20%) stay within the gate.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "A ") || strings.HasPrefix(line, "C ") {
+			if strings.Contains(line, "REGRESSED") {
+				t.Errorf("within-threshold row flagged: %q", line)
+			}
+		}
+	}
+}
+
+func TestDiffCleanAndAsymmetric(t *testing.T) {
+	base := mkReport([]string{"A", "Gone"}, []float64{100, 50})
+	head := mkReport([]string{"A", "New"}, []float64{105, 999})
+	var buf strings.Builder
+	if regressed := Diff(&buf, base, head, 20); regressed {
+		t.Fatalf("5%% drift flagged as regression:\n%s", buf.String())
+	}
+	out := buf.String()
+	// New and removed benchmarks are reported but never fail the gate.
+	if !strings.Contains(out, "new") || !strings.Contains(out, "removed") {
+		t.Errorf("asymmetric benchmarks not reported:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("clean diff printed FAIL:\n%s", out)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	base := mkReport([]string{"A"}, []float64{0})
+	head := mkReport([]string{"A"}, []float64{100})
+	var buf strings.Builder
+	if regressed := Diff(&buf, base, head, 20); regressed {
+		t.Fatalf("zero baseline flagged as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "skipped") {
+		t.Errorf("zero baseline not reported as skipped:\n%s", buf.String())
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/bench.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(f).Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(rep.Benchmarks) || got.Benchmarks[0].MeanNsOp != rep.Benchmarks[0].MeanNsOp {
+		t.Errorf("round trip lost data: %+v", got.Benchmarks)
+	}
+	if _, err := readReport(dir + "/missing.json"); err == nil {
+		t.Error("missing artifact accepted")
 	}
 }

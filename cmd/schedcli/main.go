@@ -20,9 +20,13 @@
 //	schedcli sweepbatch -in instances/ -out fronts.jsonl
 //	geninstance ... | schedcli sweepbatch -points 16
 //
-// The instance format is the one produced by geninstance:
+// Files named *.graph.json are task DAGs and sweep the RLS family over
+// the δ ≥ 2 grid points; they mix freely with instance files in one
+// directory (or name one directly with -in). The instance format is
+// the one produced by geninstance, and a graph file adds an edge list:
 //
 //	{"m": 2, "tasks": [{"id":0,"p":4,"s":1}, ...]}
+//	{"m": 2, "tasks": [...], "edges": [[0,1], [1,2]]}
 package main
 
 import (
@@ -146,6 +150,7 @@ type batchFrontLine struct {
 	Index  int              `json:"index"`
 	N      int              `json:"n,omitempty"`
 	M      int              `json:"m,omitempty"`
+	Edges  int              `json:"edges,omitempty"` // task-DAG items only
 	CmaxLB sched.Time       `json:"cmax_lb,omitempty"`
 	MmaxLB sched.Mem        `json:"mmax_lb,omitempty"`
 	Runs   int              `json:"runs,omitempty"`
@@ -204,8 +209,9 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 	// consumed from the engine's producer goroutine, so the Tag is the
 	// race-free channel back to the output loop.
 	type sourceInfo struct {
-		name string
-		n, m int
+		name  string
+		n, m  int
+		edges int
 	}
 	total := 0
 	failed := 0
@@ -213,8 +219,12 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 		func(yield func(sched.BatchItem) bool) {
 			for item, source := range items {
 				info := sourceInfo{name: source}
-				if item.Instance != nil {
+				switch {
+				case item.Instance != nil:
 					info.n, info.m = item.Instance.N(), item.Instance.M
+				case item.Graph != nil:
+					info.n, info.m = item.Graph.N(), item.Graph.M
+					info.edges = item.Graph.NumEdges()
 				}
 				item.Tag = info
 				if !yield(item) {
@@ -234,7 +244,7 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 		func(br sched.BatchResult) error {
 			total++
 			src := br.Tag.(sourceInfo)
-			line := batchFrontLine{Source: src.name, Index: br.Index, N: src.n, M: src.m}
+			line := batchFrontLine{Source: src.name, Index: br.Index, N: src.n, M: src.m, Edges: src.edges}
 			if br.Err != nil {
 				failed++
 				line.Error = br.Err.Error()
@@ -304,36 +314,55 @@ func batchItems(inPath string, stdin io.Reader) (iter.Seq2[sched.BatchItem, stri
 		}
 		return func(yield func(sched.BatchItem, string) bool) {
 			for _, name := range names {
-				item := sched.BatchItem{}
-				if in, err := readInstance(name); err != nil {
-					item.Err = err
-				} else {
-					item.Instance = in
-				}
-				if !yield(item, filepath.Base(name)) {
+				if !yield(fileItem(name), filepath.Base(name)) {
 					return
 				}
 			}
 		}, nil
 	}
-	f, err := os.Open(inPath)
+	if strings.HasSuffix(inPath, ".jsonl") {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		return jsonlItems(filepath.Base(inPath), f, f), nil
+	}
+	// Single instance or graph JSON file.
+	return func(yield func(sched.BatchItem, string) bool) {
+		yield(fileItem(inPath), filepath.Base(inPath))
+	}, nil
+}
+
+// fileItem reads one *.json file as a batch item: files named
+// *.graph.json decode as task DAGs, everything else as instances. Read
+// and parse failures ride on the item, so one bad file fails alone.
+func fileItem(name string) sched.BatchItem {
+	item := sched.BatchItem{}
+	if strings.HasSuffix(name, ".graph.json") {
+		g, err := readGraph(name)
+		if err != nil {
+			item.Err = fmt.Errorf("%s: %w", name, err)
+		} else {
+			item.Graph = g
+		}
+		return item
+	}
+	if in, err := readInstance(name); err != nil {
+		item.Err = fmt.Errorf("%s: %w", name, err)
+	} else {
+		item.Instance = in
+	}
+	return item
+}
+
+// readGraph decodes a JSON task DAG from the given file.
+func readGraph(name string) (*sched.Graph, error) {
+	f, err := os.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	if strings.HasSuffix(inPath, ".jsonl") {
-		return jsonlItems(filepath.Base(inPath), f, f), nil
-	}
-	// Single-instance JSON file.
-	return func(yield func(sched.BatchItem, string) bool) {
-		defer f.Close()
-		item := sched.BatchItem{}
-		if in, err := sched.ReadInstanceJSON(f); err != nil {
-			item.Err = fmt.Errorf("%s: %w", inPath, err)
-		} else {
-			item.Instance = in
-		}
-		yield(item, filepath.Base(inPath))
-	}, nil
+	defer f.Close()
+	return sched.ReadGraphJSON(f)
 }
 
 // streamItems yields one instance per JSON value decoded from r —

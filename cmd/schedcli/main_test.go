@@ -294,3 +294,104 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// writeGraph writes a small task DAG as *.graph.json into dir.
+func writeGraph(t *testing.T, dir, name string) string {
+	t.Helper()
+	g := sched.NewGraph(2,
+		[]sched.Time{4, 3, 5, 2},
+		[]sched.Mem{2, 1, 3, 2})
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunSweepBatchMixedGraphDirectory sweeps a directory mixing
+// instance files with a *.graph.json DAG: both kinds must stream
+// through one batch, in name order, the graph line carrying its edge
+// count and an RLS-only front.
+func TestRunSweepBatchMixedGraphDirectory(t *testing.T) {
+	dir := writeInstanceDir(t, 2)
+	writeGraph(t, dir, "apipeline.graph.json")
+	var buf strings.Builder
+	err := runSweepBatch([]string{"-in", dir, "-dmin", "0.5", "-dmax", "8", "-points", "8"}, nil, &buf)
+	if err != nil {
+		t.Fatalf("sweepbatch: %v", err)
+	}
+	lines := decodeLines(t, buf.String())
+	if len(lines) != 3 {
+		t.Fatalf("%d output lines, want 3:\n%s", len(lines), buf.String())
+	}
+	// Glob order: apipeline.graph.json sorts before inst*.json.
+	if lines[0]["source"] != "apipeline.graph.json" {
+		t.Fatalf("line 0 source = %v", lines[0]["source"])
+	}
+	if _, ok := lines[0]["error"]; ok {
+		t.Fatalf("graph item failed: %v", lines[0]["error"])
+	}
+	if int(lines[0]["edges"].(float64)) != 2 {
+		t.Errorf("graph line edges = %v, want 2", lines[0]["edges"])
+	}
+	if front, ok := lines[0]["front"].([]any); !ok || len(front) == 0 {
+		t.Errorf("graph line has no front points: %v", lines[0]["front"])
+	}
+	for i := 1; i <= 2; i++ {
+		if _, ok := lines[i]["error"]; ok {
+			t.Errorf("instance line %d failed: %v", i, lines[i]["error"])
+		}
+		if _, ok := lines[i]["edges"]; ok {
+			t.Errorf("instance line %d carries an edge count: %v", i, lines[i])
+		}
+	}
+}
+
+// TestRunSweepBatchSingleGraphFile names one *.graph.json directly.
+func TestRunSweepBatchSingleGraphFile(t *testing.T) {
+	path := writeGraph(t, t.TempDir(), "dag.graph.json")
+	var buf strings.Builder
+	err := runSweepBatch([]string{"-in", path, "-dmin", "2", "-dmax", "6", "-points", "4"}, nil, &buf)
+	if err != nil {
+		t.Fatalf("sweepbatch: %v", err)
+	}
+	lines := decodeLines(t, buf.String())
+	if len(lines) != 1 || lines[0]["source"] != "dag.graph.json" {
+		t.Fatalf("unexpected output: %v", lines)
+	}
+	if front, ok := lines[0]["front"].([]any); !ok || len(front) == 0 {
+		t.Errorf("no front points: %v", lines[0]["front"])
+	}
+}
+
+// TestRunSweepBatchBadGraphFailsAlone checks a malformed graph file is
+// one error line, not a batch abort.
+func TestRunSweepBatchBadGraphFailsAlone(t *testing.T) {
+	dir := writeInstanceDir(t, 1)
+	bad := filepath.Join(dir, "bad.graph.json")
+	if err := os.WriteFile(bad, []byte(`{"m":2,"tasks":[{"p":1,"s":0}],"edges":[[0,7]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	err := runSweepBatch([]string{"-in", dir, "-dmin", "2", "-dmax", "4", "-points", "2"}, nil, &buf)
+	if err == nil {
+		t.Fatal("batch with a bad graph reported success")
+	}
+	lines := decodeLines(t, buf.String())
+	if len(lines) != 2 {
+		t.Fatalf("%d output lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if _, ok := lines[0]["error"]; !ok {
+		t.Errorf("bad graph produced no error record: %v", lines[0])
+	}
+	if _, ok := lines[1]["error"]; ok {
+		t.Errorf("good instance failed: %v", lines[1]["error"])
+	}
+}

@@ -1,14 +1,17 @@
 // DAG pipeline: precedence-constrained scheduling with storage limits,
 // the embedded-system setting of Section 5. A staged fork-join
 // pipeline (sensor frontend -> parallel filters -> fusion -> ...) is
-// scheduled with RLS across a sweep of the storage-degradation
-// parameter delta, showing the Corollary 3 tradeoff and the marked-
-// processor accounting of Lemma 4.
+// swept across a δ-grid with the graph-sweep engine: SweepGraph runs
+// every RLS tie-break at every δ ≥ 2 against memoized per-graph state
+// and assembles the approximate (Cmax, Mmax) Pareto front, so the
+// Corollary 3 trade-off appears as a front walk instead of a manual
+// δ-loop.
 //
 //	go run ./examples/dagpipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,9 +21,9 @@ import (
 
 func main() {
 	const (
-		nProcs = 6
-		stages = 8
-		width  = 5
+		nProcs = 4
+		stages = 4
+		width  = 10
 		seed   = 3
 	)
 	g := sched.GenForkJoin(nProcs, stages, width, seed)
@@ -32,37 +35,51 @@ func main() {
 	fmt.Printf("lower bounds: critical path %d, work/m %d, memory %d\n\n",
 		rec.CriticalPath, rec.WorkOverM, rec.MmaxLB)
 
-	fmt.Printf("%6s | %8s %9s %9s | %8s %7s | %7s %7s\n",
-		"delta", "Cmax", "ratio", "bound", "Mmax", "ratio", "marked", "limit")
-	for _, delta := range []float64{2.2, 2.5, 3, 4, 6, 10} {
-		res, err := sched.RLS(g, delta, sched.TieBottomLevel)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := res.Schedule.Validate(g.PredLists()); err != nil {
-			log.Fatalf("invalid schedule: %v", err)
-		}
-		fmt.Printf("%6.1f | %8d %9.4f %9.4f | %8d %7.4f | %7d %7d\n",
-			delta,
-			res.Cmax, float64(res.Cmax)/float64(rec.CmaxLB), sched.RLSCmaxRatio(delta, g.M),
-			res.Mmax, float64(res.Mmax)/float64(rec.MmaxLB),
-			res.MarkedCount(), int(float64(g.M)/(delta-1)))
-	}
-
-	fmt.Println("\nthe delta knob trades storage balance against schedule length;")
-	fmt.Println("'marked' counts processors ever refused for memory (Lemma 4 caps it).")
-
-	// Render the tightest schedule.
-	res, err := sched.RLS(g, 2.5, sched.TieBottomLevel)
+	// One sweep call replaces the per-δ loop: all four tie-breaks at
+	// every δ ≥ 2, topological structure and tie orders prepared once.
+	grid, err := sched.SweepGeometricGrid(2.2, 10, 8)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nschedule at delta=2.5:\n")
-	if err := sched.RenderGantt(os.Stdout, res.Schedule, sched.GanttOptions{Width: 72}); err != nil {
+	res, err := sched.SweepGraph(context.Background(), g, sched.SweepConfig{Deltas: grid})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep: %d RLS runs -> %d front points\n\n", len(res.Runs), len(res.Front))
+	fmt.Printf("%-10s %-10s %-9s %-9s %s\n", "Cmax", "Mmax", "Cmax/LB", "Mmax/LB", "witness")
+	for _, p := range res.Front {
+		fmt.Printf("%-10d %-10d %-9.4f %-9.4f %s\n",
+			p.Value.Cmax, p.Value.Mmax,
+			float64(p.Value.Cmax)/float64(rec.CmaxLB),
+			float64(p.Value.Mmax)/float64(rec.MmaxLB),
+			res.Runs[p.RunIndex].Label())
+	}
+	fmt.Println("\nwalking the front trades storage balance against schedule length;")
+	fmt.Println("every point is a Lemma 4/5-certified RLS schedule of the pipeline.")
+
+	// Per-run analysis is retained: the Lemma 4 marked-processor cap
+	// holds at every grid point.
+	for _, r := range res.Runs {
+		if limit := int(float64(g.M) / (r.Delta - 1)); r.RLS.MarkedCount() > limit {
+			log.Fatalf("%s: %d marked processors exceed the Lemma 4 cap %d",
+				r.Label(), r.RLS.MarkedCount(), limit)
+		}
+	}
+
+	// Render the witness of the tightest-memory front point (the last
+	// front entry has the smallest Mmax).
+	best := res.Front[len(res.Front)-1]
+	run := res.Runs[best.RunIndex]
+	if err := run.RLS.Schedule.Validate(g.PredLists()); err != nil {
+		log.Fatalf("invalid schedule: %v", err)
+	}
+	fmt.Printf("\nschedule of %s (tightest memory on the front):\n", run.Label())
+	if err := sched.RenderGantt(os.Stdout, run.RLS.Schedule, sched.GanttOptions{Width: 72}); err != nil {
 		log.Fatal(err)
 	}
 
-	// Hard storage budget on the DAG (Section 7).
+	// Hard storage budget on the DAG (Section 7): the constrained
+	// solver reuses the same RLS machinery with an explicit cap.
 	budget := 2 * rec.MmaxLB
 	cres, err := sched.ConstrainedDAG(g, budget, sched.TieBottomLevel)
 	if err != nil {

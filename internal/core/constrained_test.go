@@ -169,3 +169,123 @@ func TestConstrainedDAGUncertifiedBand(t *testing.T) {
 		t.Errorf("expected ErrNotCertified, got %v", err)
 	}
 }
+
+// TestConstrainedErrorBands walks all three Section 7 solvers through
+// the paper's three budget bands on one crafted workload — three tasks
+// of storage 2 on two processors, LB = 3:
+//
+//   - budget < LB: provably infeasible, errors.Is(err, ErrInfeasible);
+//   - LB <= budget < 2·LB: the greedy legitimately gets stuck here
+//     (two tasks land on different processors, the third fits nowhere
+//     under cap 3), errors.Is(err, ErrNotCertified);
+//   - budget >= 2·LB: always solved, achieved Mmax within budget.
+//
+// The errors.Is contract matters because every solver wraps the
+// sentinel with %w to attach the (LB, budget) pair.
+func TestConstrainedErrorBands(t *testing.T) {
+	p := []model.Time{5, 5, 5}
+	s := []model.Mem{2, 2, 2}
+	in := model.NewInstance(2, p, s)
+	lb := bounds.MemLB(s, 2) // = ceil(6/2) = 3
+
+	type result struct {
+		err  error
+		mmax model.Mem
+	}
+	solvers := map[string]func(budget model.Mem) result{
+		"ConstrainedDAG": func(budget model.Mem) result {
+			g := dag.New(2, p, s)
+			res, err := ConstrainedDAG(g, budget, TieByID)
+			if err != nil {
+				return result{err: err}
+			}
+			return result{mmax: res.Mmax}
+		},
+		"ConstrainedSBO": func(budget model.Mem) result {
+			res, err := ConstrainedSBO(in, budget, makespan.LPT{}, makespan.LPT{}, 8)
+			if err != nil {
+				return result{err: err}
+			}
+			return result{mmax: res.Mmax}
+		},
+		"ConstrainedIndependent": func(budget model.Mem) result {
+			_, v, err := ConstrainedIndependent(in, budget)
+			if err != nil {
+				return result{err: err}
+			}
+			return result{mmax: v.Mmax}
+		},
+	}
+	for name, solve := range solvers {
+		// Band 1: budget < LB.
+		r := solve(lb - 1)
+		if !errors.Is(r.err, ErrInfeasible) {
+			t.Errorf("%s(budget=LB-1): err = %v, want ErrInfeasible", name, r.err)
+		}
+		if errors.Is(r.err, ErrNotCertified) {
+			t.Errorf("%s(budget=LB-1): error matches both sentinels", name)
+		}
+		// Band 2: LB <= budget < 2·LB, stuck by construction.
+		r = solve(lb)
+		if !errors.Is(r.err, ErrNotCertified) {
+			t.Errorf("%s(budget=LB): err = %v, want ErrNotCertified", name, r.err)
+		}
+		if errors.Is(r.err, ErrInfeasible) {
+			t.Errorf("%s(budget=LB): error matches both sentinels", name)
+		}
+		// Band 3: budget >= 2·LB always succeeds within budget.
+		for _, budget := range []model.Mem{2 * lb, 3 * lb} {
+			r = solve(budget)
+			if r.err != nil {
+				t.Errorf("%s(budget=%d >= 2LB): %v", name, budget, r.err)
+				continue
+			}
+			if r.mmax > budget {
+				t.Errorf("%s(budget=%d): achieved Mmax %d exceeds budget", name, budget, r.mmax)
+			}
+		}
+	}
+}
+
+// TestConstrainedErrorBandsRandom repeats the band contract on random
+// instances: below LB is always ErrInfeasible, at 2·LB always solved;
+// in between either outcome is legal, but a failure must be
+// ErrNotCertified and a success must respect the budget.
+func TestConstrainedErrorBandsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(rng, 20, 4, 50)
+		lb := bounds.MemLB(in.S(), in.M)
+		if lb < 2 {
+			continue
+		}
+		if _, _, err := ConstrainedIndependent(in, lb-1); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("trial %d: budget below LB: %v", trial, err)
+		}
+		for budget := lb; budget < 2*lb; budget += maxMem(1, lb/4) {
+			_, v, err := ConstrainedIndependent(in, budget)
+			if err != nil {
+				if !errors.Is(err, ErrNotCertified) {
+					t.Errorf("trial %d budget %d: band failure is %v, want ErrNotCertified", trial, budget, err)
+				}
+				continue
+			}
+			if v.Mmax > budget {
+				t.Errorf("trial %d budget %d: Mmax %d over budget", trial, budget, v.Mmax)
+			}
+		}
+		_, v, err := ConstrainedIndependent(in, 2*lb)
+		if err != nil {
+			t.Errorf("trial %d: 2LB budget failed: %v", trial, err)
+		} else if v.Mmax > 2*lb {
+			t.Errorf("trial %d: Mmax %d over 2LB budget", trial, v.Mmax)
+		}
+	}
+}
+
+func maxMem(a, b model.Mem) model.Mem {
+	if a > b {
+		return a
+	}
+	return b
+}

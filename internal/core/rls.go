@@ -113,14 +113,35 @@ func RLSSumCiRatio(delta float64) float64 {
 	return 2 + 1/(delta-2)
 }
 
+// checkRLSDelta validates the RLS parameter: ∆ must be a finite number
+// ≥ 2 (Lemma 4 gives no guarantee below 2, and a non-finite ∆ has no
+// exact rational form — big.Rat.SetFloat64 returns nil for it, which
+// used to surface as a nil-pointer panic deep inside memCapFloor).
+func checkRLSDelta(delta float64) error {
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return fmt.Errorf("core: RLS delta = %g is not finite", delta)
+	}
+	if delta < 2 {
+		return fmt.Errorf("core: RLS delta = %g, need delta >= 2 (Lemma 4)", delta)
+	}
+	return nil
+}
+
 // MemCap returns the per-processor budget ⌊∆·LB⌋ that RLS∆ enforces,
 // exported for sweep engines that memoize LB per instance and derive
-// each grid point's cap from it.
-func MemCap(delta float64, lb model.Mem) model.Mem { return memCapFloor(delta, lb) }
+// each grid point's cap from it. It reports an error for non-finite ∆
+// (which has no exact rational form) instead of panicking.
+func MemCap(delta float64, lb model.Mem) (model.Mem, error) {
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return 0, fmt.Errorf("core: memory cap delta = %g is not finite", delta)
+	}
+	return memCapFloor(delta, lb), nil
+}
 
 // memCapFloor computes ⌊∆·LB⌋ exactly (∆ is a float64, hence an exact
 // rational; LB can be as large as 2^40 in ε-scaled instances, so the
-// product is evaluated in big rationals rather than floats).
+// product is evaluated in big rationals rather than floats). Callers
+// must have rejected non-finite ∆ — SetFloat64 returns nil for it.
 func memCapFloor(delta float64, lb model.Mem) model.Mem {
 	r := new(big.Rat).SetFloat64(delta)
 	r.Mul(r, new(big.Rat).SetInt64(int64(lb)))
@@ -138,8 +159,8 @@ func RLS(g *dag.Graph, delta float64, tie TieBreak) (*RLSResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	if delta < 2 {
-		return nil, fmt.Errorf("core: RLS delta = %g, need delta >= 2 (Lemma 4)", delta)
+	if err := checkRLSDelta(delta); err != nil {
+		return nil, err
 	}
 	lb := bounds.MemLB(g.S, g.M)
 	cap := memCapFloor(delta, lb)
@@ -185,6 +206,21 @@ func (e ErrCapTooSmall) Error() string {
 // tieOrder precomputes the scheduling priority order for a tie-break
 // rule: order[r] is the task scheduled r-th when all else is equal.
 func tieOrder(g *dag.Graph, tie TieBreak) ([]int, error) {
+	var bottom []model.Time
+	if tie == TieBottomLevel {
+		bl, err := g.BottomLevels()
+		if err != nil {
+			return nil, err
+		}
+		bottom = bl
+	}
+	return tieOrderFrom(g, tie, bottom)
+}
+
+// tieOrderFrom is tieOrder with the bottom levels supplied by the
+// caller (nil unless tie is TieBottomLevel), so prepared sweeps compute
+// them once per graph instead of once per tie-break.
+func tieOrderFrom(g *dag.Graph, tie TieBreak, bottom []model.Time) ([]int, error) {
 	n := g.N()
 	order := make([]int, n)
 	for i := range order {
@@ -198,11 +234,7 @@ func tieOrder(g *dag.Graph, tie TieBreak) ([]int, error) {
 	case TieLPT:
 		sort.SliceStable(order, func(a, b int) bool { return g.P[order[a]] > g.P[order[b]] })
 	case TieBottomLevel:
-		bl, err := g.BottomLevels()
-		if err != nil {
-			return nil, err
-		}
-		sort.SliceStable(order, func(a, b int) bool { return bl[order[a]] > bl[order[b]] })
+		sort.SliceStable(order, func(a, b int) bool { return bottom[order[a]] > bottom[order[b]] })
 	default:
 		return nil, fmt.Errorf("core: unknown tie break %d", int(tie))
 	}
@@ -216,21 +248,43 @@ func tieRank(g *dag.Graph, tie TieBreak) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	return rankOf(order), nil
+}
+
+// rankOf inverts a priority order into per-task ranks.
+func rankOf(order []int) []int {
 	rank := make([]int, len(order))
 	for r, i := range order {
 		rank[i] = r
 	}
-	return rank, nil
+	return rank
 }
 
-// rlsWithCap is the shared Algorithm 2 loop.
+// rlsWithCap is the shared Algorithm 2 entry for unprepared calls.
 func rlsWithCap(g *dag.Graph, cap model.Mem, tie TieBreak) (*RLSResult, error) {
-	n := g.N()
-	m := g.M
 	rank, err := tieRank(g, tie)
 	if err != nil {
 		return nil, err
 	}
+	return rlsRanked(g, rank, predCounts(g), cap)
+}
+
+// predCounts returns the per-task predecessor counts that seed the
+// ready-set bookkeeping of the Algorithm 2 loop.
+func predCounts(g *dag.Graph) []int {
+	np := make([]int, g.N())
+	for v := range np {
+		np[v] = len(g.Preds(v))
+	}
+	return np
+}
+
+// rlsRanked is the Algorithm 2 loop with a precomputed tie rank and
+// predecessor counts. It never mutates rank or npreds, so prepared
+// sweeps may run it concurrently against shared slices.
+func rlsRanked(g *dag.Graph, rank, npreds []int, cap model.Mem) (*RLSResult, error) {
+	n := g.N()
+	m := g.M
 
 	sc := model.NewSchedule(m, n)
 	copy(sc.P, g.P)
@@ -241,10 +295,8 @@ func rlsWithCap(g *dag.Graph, cap model.Mem, tie TieBreak) (*RLSResult, error) {
 	marked := make([]bool, m)
 	done := make([]bool, n)
 	pendingPreds := make([]int, n)
+	copy(pendingPreds, npreds)
 	readyTime := make([]model.Time, n) // max over preds of completion
-	for v := 0; v < n; v++ {
-		pendingPreds[v] = len(g.Preds(v))
-	}
 
 	const inf = model.Time(math.MaxInt64)
 	for scheduled := 0; scheduled < n; scheduled++ {
@@ -332,8 +384,8 @@ func RLSIndependent(in *model.Instance, delta float64, tie TieBreak) (*RLSResult
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	if delta < 2 {
-		return nil, fmt.Errorf("core: RLS delta = %g, need delta >= 2 (Lemma 4)", delta)
+	if err := checkRLSDelta(delta); err != nil {
+		return nil, err
 	}
 	lb := bounds.MemLB(in.S(), in.M)
 	cap := memCapFloor(delta, lb)
@@ -458,8 +510,8 @@ func (prep *RLSPrepared) LB() model.Mem { return prep.lb }
 
 // Run executes one RLS∆ evaluation against the prepared state.
 func (prep *RLSPrepared) Run(delta float64, tie TieBreak) (*RLSResult, error) {
-	if delta < 2 {
-		return nil, fmt.Errorf("core: RLS delta = %g, need delta >= 2 (Lemma 4)", delta)
+	if err := checkRLSDelta(delta); err != nil {
+		return nil, err
 	}
 	order, ok := prep.orders[tie]
 	if !ok {
@@ -470,6 +522,98 @@ func (prep *RLSPrepared) Run(delta float64, tie TieBreak) (*RLSResult, error) {
 		return nil, err
 	}
 	res.Delta = delta
+	res.LB = prep.lb
+	return res, nil
+}
+
+// RLSGraphPrepared memoizes the δ-independent work of RLS on a task
+// DAG — validation (including the topological cycle check), the Graham
+// memory lower bound, the bottom levels and the tie-break ranks — so a
+// δ-sweep pays each exactly once per graph. The prepared value is
+// immutable after PrepareRLS and safe for concurrent Run calls.
+type RLSGraphPrepared struct {
+	g      *dag.Graph
+	lb     model.Mem
+	npreds []int
+	bottom []model.Time
+	ranks  map[TieBreak][]int
+}
+
+// PrepareRLS validates the graph and precomputes the tie ranks for the
+// given tie-breaks (all four when none are given) over one shared
+// topological pass.
+func PrepareRLS(g *dag.Graph, ties ...TieBreak) (*RLSGraphPrepared, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ties) == 0 {
+		ties = []TieBreak{TieByID, TieSPT, TieLPT, TieBottomLevel}
+	}
+	prep := &RLSGraphPrepared{
+		g:      g,
+		lb:     bounds.MemLB(g.S, g.M),
+		npreds: predCounts(g),
+		ranks:  make(map[TieBreak][]int, len(ties)),
+	}
+	for _, tie := range ties {
+		if _, ok := prep.ranks[tie]; ok {
+			continue
+		}
+		if tie == TieBottomLevel && prep.bottom == nil {
+			bl, err := g.BottomLevels()
+			if err != nil {
+				return nil, err
+			}
+			prep.bottom = bl
+		}
+		order, err := tieOrderFrom(g, tie, prep.bottom)
+		if err != nil {
+			return nil, err
+		}
+		prep.ranks[tie] = rankOf(order)
+	}
+	return prep, nil
+}
+
+// LB returns the memoized Graham memory lower bound.
+func (prep *RLSGraphPrepared) LB() model.Mem { return prep.lb }
+
+// Run executes one RLS∆ evaluation against the prepared state; it
+// matches RLS(g, delta, tie) bit for bit.
+func (prep *RLSGraphPrepared) Run(delta float64, tie TieBreak) (*RLSResult, error) {
+	if err := checkRLSDelta(delta); err != nil {
+		return nil, err
+	}
+	res, err := prep.runRanked(tie, memCapFloor(delta, prep.lb))
+	if err != nil {
+		return nil, err
+	}
+	res.Delta = delta
+	return res, nil
+}
+
+// RunWithCap executes one evaluation under an explicit per-processor
+// budget; it matches RLSWithCap(g, cap, tie) bit for bit.
+func (prep *RLSGraphPrepared) RunWithCap(cap model.Mem, tie TieBreak) (*RLSResult, error) {
+	res, err := prep.runRanked(tie, cap)
+	if err != nil {
+		return nil, err
+	}
+	if prep.lb > 0 {
+		res.Delta = float64(cap) / float64(prep.lb)
+	}
+	return res, nil
+}
+
+func (prep *RLSGraphPrepared) runRanked(tie TieBreak, cap model.Mem) (*RLSResult, error) {
+	rank, ok := prep.ranks[tie]
+	if !ok {
+		return nil, fmt.Errorf("core: tie-break %s not prepared", tie)
+	}
+	res, err := rlsRanked(prep.g, rank, prep.npreds, cap)
+	if err != nil {
+		return nil, err
+	}
 	res.LB = prep.lb
 	return res, nil
 }

@@ -353,3 +353,121 @@ func TestRLSDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestRLSNonFiniteDeltaErrors is the regression test for the nil
+// *big.Rat panic: big.Rat.SetFloat64 returns nil for non-finite input,
+// so δ = +Inf used to crash memCapFloor with a nil dereference, and
+// δ = NaN slipped past the `delta < 2` guard into the same path. Every
+// RLS entry point (and the exported MemCap) must return an error
+// instead.
+func TestRLSNonFiniteDeltaErrors(t *testing.T) {
+	in := model.NewInstance(2, []model.Time{3, 2, 4}, []model.Mem{1, 2, 3})
+	g := dag.FromInstance(in)
+	prepInd, err := PrepareRLSIndependent(in, TieSPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepG, err := PrepareRLS(g, TieSPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		if _, err := RLS(g, delta, TieSPT); err == nil {
+			t.Errorf("RLS(delta=%g): no error", delta)
+		}
+		if _, err := RLSIndependent(in, delta, TieSPT); err == nil {
+			t.Errorf("RLSIndependent(delta=%g): no error", delta)
+		}
+		if _, err := prepInd.Run(delta, TieSPT); err == nil {
+			t.Errorf("RLSPrepared.Run(delta=%g): no error", delta)
+		}
+		if _, err := prepG.Run(delta, TieSPT); err == nil {
+			t.Errorf("RLSGraphPrepared.Run(delta=%g): no error", delta)
+		}
+		if _, err := MemCap(delta, 10); err == nil {
+			t.Errorf("MemCap(delta=%g): no error", delta)
+		}
+	}
+	// Finite deltas still work through the exported cap helper.
+	if cap, err := MemCap(2.5, 10); err != nil || cap != 25 {
+		t.Errorf("MemCap(2.5, 10) = (%d, %v), want (25, nil)", cap, err)
+	}
+}
+
+// TestPrepareRLSMatchesUnprepared checks the graph-prepared path is
+// bit-identical to direct RLS / RLSWithCap calls for every tie-break
+// across a δ-grid — the contract the sweep engine relies on.
+func TestPrepareRLSMatchesUnprepared(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := randGraph(rng, 25, 5, 0.25, 40)
+		prep, err := PrepareRLS(g)
+		if err != nil {
+			t.Fatalf("trial %d: PrepareRLS: %v", trial, err)
+		}
+		if want := bounds.MemLB(g.S, g.M); prep.LB() != want {
+			t.Fatalf("trial %d: LB = %d, want %d", trial, prep.LB(), want)
+		}
+		for _, tie := range []TieBreak{TieByID, TieSPT, TieLPT, TieBottomLevel} {
+			for _, delta := range []float64{2, 2.5, 3, 4.75, 8} {
+				got, err := prep.Run(delta, tie)
+				if err != nil {
+					t.Fatalf("trial %d: prepared Run(%g, %s): %v", trial, delta, tie, err)
+				}
+				want, err := RLS(g, delta, tie)
+				if err != nil {
+					t.Fatalf("trial %d: RLS(%g, %s): %v", trial, delta, tie, err)
+				}
+				if got.Cmax != want.Cmax || got.Mmax != want.Mmax ||
+					got.LB != want.LB || got.Cap != want.Cap || got.Delta != want.Delta {
+					t.Fatalf("trial %d %s delta=%g: prepared (%d,%d,LB=%d,cap=%d), direct (%d,%d,LB=%d,cap=%d)",
+						trial, tie, delta, got.Cmax, got.Mmax, got.LB, got.Cap,
+						want.Cmax, want.Mmax, want.LB, want.Cap)
+				}
+				for i := range got.Schedule.Proc {
+					if got.Schedule.Proc[i] != want.Schedule.Proc[i] ||
+						got.Schedule.Start[i] != want.Schedule.Start[i] {
+						t.Fatalf("trial %d %s delta=%g: schedules differ at task %d", trial, tie, delta, i)
+					}
+				}
+			}
+			cap := 2 * bounds.MemLB(g.S, g.M)
+			got, err := prep.RunWithCap(cap, tie)
+			if err != nil {
+				t.Fatalf("trial %d: prepared RunWithCap(%d, %s): %v", trial, cap, tie, err)
+			}
+			want, err := RLSWithCap(g, cap, tie)
+			if err != nil {
+				t.Fatalf("trial %d: RLSWithCap(%d, %s): %v", trial, cap, tie, err)
+			}
+			if got.Cmax != want.Cmax || got.Mmax != want.Mmax || got.Delta != want.Delta {
+				t.Fatalf("trial %d %s cap=%d: prepared (%d,%d), direct (%d,%d)",
+					trial, tie, cap, got.Cmax, got.Mmax, want.Cmax, want.Mmax)
+			}
+		}
+	}
+}
+
+// TestPrepareRLSErrors covers the prepared constructor's failure modes.
+func TestPrepareRLSErrors(t *testing.T) {
+	cyc := dag.New(2, []model.Time{1, 1}, []model.Mem{0, 0})
+	cyc.AddEdge(0, 1)
+	cyc.AddEdge(1, 0)
+	if _, err := PrepareRLS(cyc); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+	if _, err := PrepareRLS(dag.New(2, []model.Time{1}, []model.Mem{1}), TieBreak(99)); err == nil {
+		t.Error("unknown tie-break accepted")
+	}
+	g := dag.New(2, []model.Time{1, 2}, []model.Mem{1, 1})
+	prep, err := PrepareRLS(g, TieSPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Run(3, TieLPT); err == nil {
+		t.Error("unprepared tie-break accepted")
+	}
+	if _, err := prep.RunWithCap(100, TieLPT); err == nil {
+		t.Error("unprepared tie-break accepted by RunWithCap")
+	}
+}

@@ -1,0 +1,88 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"storagesched/internal/model"
+)
+
+// graphJSON is the on-disk form of a Graph: the instance fields plus
+// an edge list. It extends the instance wire format, so a graph file
+// is an instance file with an "edges" array:
+//
+//	{"m": 2, "tasks": [{"id":0,"p":4,"s":1}, ...], "edges": [[0,1], ...]}
+type graphJSON struct {
+	M     int          `json:"m"`
+	Tasks []model.Task `json:"tasks"`
+	Edges [][2]int     `json:"edges"`
+}
+
+// WriteJSON encodes the graph to w with indentation.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	gj := graphJSON{M: g.M, Tasks: make([]model.Task, g.N()), Edges: [][2]int{}}
+	for i := range gj.Tasks {
+		gj.Tasks[i] = model.Task{ID: i, P: g.P[i], S: g.S[i]}
+	}
+	for u := range g.succs {
+		for _, v := range g.succs[u] {
+			gj.Edges = append(gj.Edges, [2]int{u, v})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(gj)
+}
+
+// ReadGraphJSON decodes a task DAG from r and validates it (node
+// ranges, no self-loops, positive processing times, acyclicity).
+// Malformed edges are reported as errors, never panics — the format is
+// consumed by CLI tools fed untrusted files.
+func ReadGraphJSON(r io.Reader) (*Graph, error) {
+	var gj graphJSON
+	if err := json.NewDecoder(r).Decode(&gj); err != nil {
+		return nil, fmt.Errorf("dag: decoding graph: %w", err)
+	}
+	n := len(gj.Tasks)
+	// Same ID contract as ReadInstanceJSON: files with implicit IDs
+	// (all zero) are positional; any nonzero ID makes the file
+	// explicit, and every ID must then match its index — the edge list
+	// below refers to tasks by position, so a reordered file would
+	// otherwise decode into a silently wrong DAG.
+	implicit := true
+	for _, t := range gj.Tasks {
+		if t.ID != 0 {
+			implicit = false
+			break
+		}
+	}
+	if !implicit {
+		for i, t := range gj.Tasks {
+			if t.ID != i {
+				return nil, fmt.Errorf("dag: task %d has ID %d, want %d (edges are positional)", i, t.ID, i)
+			}
+		}
+	}
+	p := make([]model.Time, n)
+	s := make([]model.Mem, n)
+	for i, t := range gj.Tasks {
+		p[i] = t.P
+		s[i] = t.S
+	}
+	g := New(gj.M, p, s)
+	for k, e := range gj.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("dag: edge %d (%d -> %d) out of range [0, %d)", k, u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("dag: edge %d is a self-loop on node %d", k, u)
+		}
+		g.AddEdge(u, v)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

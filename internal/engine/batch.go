@@ -10,15 +10,23 @@ import (
 
 	"storagesched/internal/bounds"
 	"storagesched/internal/core"
+	"storagesched/internal/dag"
 	"storagesched/internal/makespan"
 	"storagesched/internal/model"
 )
 
-// BatchItem is one instance of a batch sweep, with an optional
-// per-instance configuration override.
+// BatchItem is one work item of a batch sweep — an independent-task
+// instance or a task DAG, with an optional per-item configuration
+// override. Exactly one of Instance and Graph must be set.
 type BatchItem struct {
-	// Instance is the instance to sweep.
+	// Instance is the independent-task instance to sweep.
 	Instance *model.Instance
+
+	// Graph is the task DAG to sweep. Graph sweeps run the RLS family
+	// only (SBO is defined on independent tasks), so the item's
+	// effective grid needs at least one δ ≥ 2 and must not set
+	// SkipRLS.
+	Graph *dag.Graph
 
 	// Override, when non-nil, replaces the batch-wide base Config for
 	// this instance only (its Workers field is ignored — the worker
@@ -45,6 +53,18 @@ func BatchOf(instances ...*model.Instance) iter.Seq[BatchItem] {
 	return func(yield func(BatchItem) bool) {
 		for _, in := range instances {
 			if !yield(BatchItem{Instance: in}) {
+				return
+			}
+		}
+	}
+}
+
+// BatchOfGraphs adapts a slice of task DAGs to the item sequence
+// SweepBatch consumes, with no per-graph overrides.
+func BatchOfGraphs(graphs ...*dag.Graph) iter.Seq[BatchItem] {
+	return func(yield func(BatchItem) bool) {
+		for _, g := range graphs {
+			if !yield(BatchItem{Graph: g}) {
 				return
 			}
 		}
@@ -93,34 +113,50 @@ type batchJob struct {
 	idx int
 }
 
-// batchState is the in-flight record of one instance: its effective
+// batchState is the in-flight record of one item: its effective
 // config, deterministic job list, memoized prepared state (computed
-// exactly once, by the first worker to touch the instance) and the
-// runs landing at their job indexes.
+// exactly once, by the first worker to touch the item) and the runs
+// landing at their job indexes. Exactly one of in and g is non-nil for
+// a sweepable item.
 type batchState struct {
 	index int
 	in    *model.Instance
+	g     *dag.Graph
 	tag   any
 	cfg   Config
 	jobs  []job
 	runs  []Run
 
-	prepOnce sync.Once
-	prepSBO  *core.SBOPrepared
-	prepRLS  *core.RLSPrepared
-	bounds   bounds.Record
-	err      error
+	prepOnce  sync.Once
+	prepSBO   *core.SBOPrepared
+	prepRLS   *core.RLSPrepared
+	prepGraph *core.RLSGraphPrepared
+	bounds    bounds.Record
+	err       error
 
 	remaining atomic.Int64
 	skipped   atomic.Bool
 	done      chan struct{}
 }
 
-// prepare memoizes the per-instance state shared by every run: the SBO
-// sub-schedules π1/π2, the RLS tie-break orders and the lower-bound
-// record. It runs exactly once per instance, inside the worker pool,
-// so preparation of one instance overlaps evaluation of another.
+// prepare memoizes the per-item state shared by every run — for
+// instances the SBO sub-schedules π1/π2, the RLS tie-break orders and
+// the lower-bound record; for graphs the topological structure, tie
+// ranks and the bounds.ForGraph record. It runs exactly once per item,
+// inside the worker pool, so preparation of one item overlaps
+// evaluation of another.
 func (st *batchState) prepare() {
+	if st.g != nil {
+		ties := st.cfg.Ties
+		if ties == nil {
+			ties = DefaultTies
+		}
+		if st.prepGraph, st.err = core.PrepareRLS(st.g, ties...); st.err != nil {
+			return
+		}
+		st.bounds, st.err = bounds.ForGraph(st.g)
+		return
+	}
 	if !st.cfg.SkipSBO {
 		algC, algM := st.cfg.AlgC, st.cfg.AlgM
 		if algC == nil {
@@ -143,6 +179,25 @@ func (st *batchState) prepare() {
 		}
 	}
 	st.bounds = bounds.ForInstance(st.in)
+}
+
+// executeJob runs one job of this item against the memoized prepared
+// state, dispatching on the item kind.
+func (st *batchState) executeJob(idx int) Run {
+	j := st.jobs[idx]
+	if st.g == nil {
+		return execute(j, st.prepSBO, st.prepRLS)
+	}
+	run := Run{Algorithm: j.alg, Tie: j.tie, Delta: j.delta}
+	res, err := st.prepGraph.Run(j.delta, j.tie)
+	if err != nil {
+		run.Err = err
+		return run
+	}
+	run.RLS = res
+	run.Value = model.Value{Cmax: res.Cmax, Mmax: res.Mmax}
+	run.Assignment = res.Schedule.Assignment()
+	return run
 }
 
 // SweepBatch sweeps every instance of items through one shared worker
@@ -198,7 +253,7 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 		defer close(jobCh)
 		index := 0
 		for item := range items {
-			st := &batchState{index: index, in: item.Instance, tag: item.Tag, done: make(chan struct{})}
+			st := &batchState{index: index, in: item.Instance, g: item.Graph, tag: item.Tag, done: make(chan struct{})}
 			index++
 			eff := cfg.Config
 			if item.Override != nil {
@@ -210,11 +265,14 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 			case item.Err != nil:
 				st.err = item.Err
 				close(st.done)
-			case item.Instance == nil:
-				st.err = fmt.Errorf("engine: batch item %d has nil instance", st.index)
+			case item.Instance == nil && item.Graph == nil:
+				st.err = fmt.Errorf("engine: batch item %d has neither instance nor graph", st.index)
+				close(st.done)
+			case item.Instance != nil && item.Graph != nil:
+				st.err = fmt.Errorf("engine: batch item %d has both instance and graph", st.index)
 				close(st.done)
 			default:
-				jobs, err := buildJobs(eff)
+				jobs, err := buildJobs(eff, item.Graph != nil)
 				if err != nil {
 					st.err = err
 					close(st.done)
@@ -259,7 +317,7 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 				default:
 					st.prepOnce.Do(st.prepare)
 					if st.err == nil {
-						st.runs[bj.idx] = execute(st.jobs[bj.idx], st.prepSBO, st.prepRLS)
+						st.runs[bj.idx] = st.executeJob(bj.idx)
 					}
 					if testHookAfterRun != nil {
 						testHookAfterRun()
@@ -298,7 +356,7 @@ emitting:
 		}
 		// Drop the prepared state before emitting: only the Result —
 		// now owned by the caller — outlives this iteration.
-		st.prepSBO, st.prepRLS = nil, nil
+		st.prepSBO, st.prepRLS, st.prepGraph = nil, nil, nil
 		if err := emit(br); err != nil {
 			emitErr = err
 			break

@@ -19,23 +19,28 @@
 //     are deterministic regardless of goroutine interleaving;
 //   - the sweep honours context cancellation between jobs.
 //
-// SweepBatch generalizes the engine to many instances: all (instance,
-// algorithm, δ) jobs share one worker pool, per-instance prepared
-// state is still memoized exactly once, and per-instance Results
-// stream to a callback in instance order with at most
-// BatchConfig.MaxPending instances held in memory — fronts for
-// thousands of instances never accumulate. Sweep itself is the
-// single-instance special case.
+// SweepBatch generalizes the engine to many work items: all (item,
+// algorithm, δ) jobs share one worker pool, per-item prepared state is
+// still memoized exactly once, and per-item Results stream to a
+// callback in item order with at most BatchConfig.MaxPending items
+// held in memory — fronts for thousands of items never accumulate.
+// Items are independent-task instances or precedence-constrained task
+// DAGs (Section 5): graph items run the RLS tie-breaks against
+// core.PrepareRLS's memoized topological state, with the lower-bound
+// record memoized via bounds.ForGraph, and both kinds mix freely in
+// one stream. Sweep and SweepGraph are the single-item special cases.
 package engine
 
 import (
 	"context"
 	"fmt"
+	"iter"
 	"math"
 	"sort"
 
 	"storagesched/internal/bounds"
 	"storagesched/internal/core"
+	"storagesched/internal/dag"
 	"storagesched/internal/makespan"
 	"storagesched/internal/model"
 )
@@ -225,8 +230,26 @@ type job struct {
 // instances, batch them — the worker pool is then shared across
 // instances, so it never idles at instance boundaries.
 func Sweep(ctx context.Context, in *model.Instance, cfg Config) (*Result, error) {
+	return sweepOne(ctx, BatchOf(in), cfg)
+}
+
+// SweepGraph is the task-DAG form of Sweep: it evaluates the RLS
+// tie-breaks over the δ ≥ 2 part of the grid against the prepared
+// graph (core.PrepareRLS) and assembles the approximate Pareto front
+// from the achieved (Cmax, Mmax) points. The Result's Bounds is the
+// memoized bounds.ForGraph record, so front ratios are against the
+// critical-path-aware makespan lower bound.
+//
+// SweepGraph is the single-graph form of SweepBatch: to sweep many
+// graphs — or a mix of graphs and instances — batch them.
+func SweepGraph(ctx context.Context, g *dag.Graph, cfg Config) (*Result, error) {
+	return sweepOne(ctx, BatchOfGraphs(g), cfg)
+}
+
+// sweepOne runs a one-item batch and unwraps its Result.
+func sweepOne(ctx context.Context, items iter.Seq[BatchItem], cfg Config) (*Result, error) {
 	var out *Result
-	err := SweepBatch(ctx, BatchOf(in), BatchConfig{Config: cfg}, func(br BatchResult) error {
+	err := SweepBatch(ctx, items, BatchConfig{Config: cfg}, func(br BatchResult) error {
 		if br.Err != nil {
 			return br.Err
 		}
@@ -240,8 +263,10 @@ func Sweep(ctx context.Context, in *model.Instance, cfg Config) (*Result, error)
 }
 
 // buildJobs lays out the deterministic job list: grid-major, SBO then
-// the tie-breaks at each δ.
-func buildJobs(cfg Config) ([]job, error) {
+// the tie-breaks at each δ. Graph items run the RLS family only — SBO
+// (Algorithm 1) is defined on independent tasks — so for them the grid
+// needs at least one δ ≥ 2 and SkipRLS is an error.
+func buildJobs(cfg Config, graph bool) ([]job, error) {
 	if len(cfg.Deltas) == 0 {
 		return nil, fmt.Errorf("engine: empty delta grid")
 	}
@@ -249,6 +274,9 @@ func buildJobs(cfg Config) ([]job, error) {
 		if !(d > 0) || math.IsInf(d, 0) {
 			return nil, fmt.Errorf("engine: delta = %g, need finite delta > 0", d)
 		}
+	}
+	if graph && cfg.SkipRLS {
+		return nil, fmt.Errorf("engine: graph sweeps run only the RLS family, but SkipRLS is set")
 	}
 	if cfg.SkipSBO && cfg.SkipRLS {
 		return nil, fmt.Errorf("engine: both algorithm families skipped")
@@ -259,7 +287,7 @@ func buildJobs(cfg Config) ([]job, error) {
 	}
 	var jobs []job
 	for _, d := range cfg.Deltas {
-		if !cfg.SkipSBO {
+		if !cfg.SkipSBO && !graph {
 			jobs = append(jobs, job{alg: AlgSBO, delta: d})
 		}
 		if !cfg.SkipRLS && d >= 2 {
@@ -269,6 +297,9 @@ func buildJobs(cfg Config) ([]job, error) {
 		}
 	}
 	if len(jobs) == 0 {
+		if graph {
+			return nil, fmt.Errorf("engine: graph sweep selects no runs (RLS needs some delta >= 2)")
+		}
 		return nil, fmt.Errorf("engine: sweep selects no runs (RLS needs some delta >= 2)")
 	}
 	return jobs, nil

@@ -11,6 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ABL1", "ABL2", "ABL3",
 		"COR1", "COR23", "COR4",
+		"DAGSWEEP",
 		"EXT1", "EXT2", "EXT3", "EXT4",
 		"FIG1", "FIG2", "FIG3",
 		"LEM12", "LEM3", "LEM6",

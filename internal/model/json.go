@@ -29,14 +29,16 @@ func ReadInstanceJSON(r io.Reader) (*Instance, error) {
 	}
 	in := &Instance{M: ij.M, Tasks: ij.Tasks}
 	// Accept files with implicit IDs (all zero): renumber sequentially.
-	needsIDs := true
-	for i, t := range in.Tasks {
-		if t.ID != 0 || i == 0 {
-			continue
+	// Any nonzero ID makes the file explicit, and Validate then holds
+	// every ID to its index.
+	implicit := true
+	for _, t := range in.Tasks {
+		if t.ID != 0 {
+			implicit = false
+			break
 		}
-		needsIDs = false
 	}
-	if needsIDs {
+	if implicit {
 		for i := range in.Tasks {
 			in.Tasks[i].ID = i
 		}

@@ -3,6 +3,7 @@ package model
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -301,5 +302,25 @@ func TestPropertySwapTwice(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestReadInstanceJSONIDContract pins the ID semantics: files without
+// IDs (all zero) are renumbered positionally, explicit in-order IDs
+// pass, and a reordered file is rejected rather than silently
+// reinterpreted.
+func TestReadInstanceJSONIDContract(t *testing.T) {
+	in, err := ReadInstanceJSON(strings.NewReader(`{"m":2,"tasks":[{"p":1,"s":0},{"p":2,"s":1}]}`))
+	if err != nil {
+		t.Fatalf("implicit IDs rejected: %v", err)
+	}
+	if in.Tasks[0].ID != 0 || in.Tasks[1].ID != 1 {
+		t.Errorf("implicit IDs not renumbered: %+v", in.Tasks)
+	}
+	if _, err := ReadInstanceJSON(strings.NewReader(`{"m":2,"tasks":[{"id":0,"p":1,"s":0},{"id":1,"p":2,"s":1}]}`)); err != nil {
+		t.Fatalf("explicit in-order IDs rejected: %v", err)
+	}
+	if _, err := ReadInstanceJSON(strings.NewReader(`{"m":2,"tasks":[{"id":1,"p":1,"s":0},{"id":0,"p":2,"s":1}]}`)); err == nil {
+		t.Error("reordered task IDs accepted")
 	}
 }

@@ -24,6 +24,7 @@ package uniform
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 	"sort"
 
@@ -245,7 +246,12 @@ func sboUniform(in *model.Instance, p []model.Time, s []model.Mem, q Speeds, del
 		SpeedSpread:     q.Spread(),
 	}
 	qmin := q.Min()
+	// SetFloat64 returns nil for non-finite input; a NaN ∆ passes the
+	// callers' sign checks, so reject it here before the nil deref.
 	deltaRat := new(big.Rat).SetFloat64(delta)
+	if deltaRat == nil {
+		return nil, fmt.Errorf("uniform: SBO delta = %g is not finite", delta)
+	}
 	lhs := new(big.Rat)
 	rhs := new(big.Rat)
 	tmp := new(big.Rat)
@@ -329,6 +335,11 @@ func RLSUniform(in *model.Instance, q Speeds, delta float64) (*RLSUniformResult,
 	}
 	if len(q) != in.M {
 		return nil, fmt.Errorf("uniform: %d speeds for m=%d machines", len(q), in.M)
+	}
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		// +Inf passes the < 2 check and NaN fails every comparison;
+		// both make SetFloat64 below return nil and then panic.
+		return nil, fmt.Errorf("uniform: RLS delta = %g is not finite", delta)
 	}
 	if delta < 2 {
 		return nil, fmt.Errorf("uniform: delta = %g, need >= 2", delta)

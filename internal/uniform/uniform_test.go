@@ -1,6 +1,7 @@
 package uniform
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -233,5 +234,30 @@ func TestPropertyRationalCmaxConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestUniformNonFiniteDeltaErrors is the regression test for the nil
+// *big.Rat panic family: SetFloat64 returns nil for non-finite input,
+// so δ = +Inf (past the sign checks) and δ = NaN (past every
+// comparison) used to crash RLSUniform's cap computation and
+// sboUniform's threshold. Both must return errors instead.
+func TestUniformNonFiniteDeltaErrors(t *testing.T) {
+	in := model.NewInstance(2, []model.Time{3, 2, 4}, []model.Mem{1, 2, 3})
+	q := Speeds{1, 2}
+	for _, delta := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		if _, err := RLSUniform(in, q, delta); err == nil {
+			t.Errorf("RLSUniform(delta=%g): no error", delta)
+		}
+		if _, err := SBOUniform(in, q, delta); err == nil {
+			t.Errorf("SBOUniform(delta=%g): no error", delta)
+		}
+	}
+	// Finite deltas keep working.
+	if _, err := RLSUniform(in, q, 3); err != nil {
+		t.Errorf("RLSUniform(delta=3): %v", err)
+	}
+	if _, err := SBOUniform(in, q, 1); err != nil {
+		t.Errorf("SBOUniform(delta=1): %v", err)
 	}
 }

@@ -77,6 +77,15 @@
 // same instance and config, whatever the worker count. Items may carry
 // per-instance config overrides, and a bad instance fails alone —
 // BatchResult.Err — without stopping the batch.
+//
+// Batches mix task DAGs with independent-task instances: a BatchItem
+// carries either an Instance or a Graph, and graph items sweep the RLS
+// tie-breaks (Algorithm 2) over the δ ≥ 2 grid points against memoized
+// per-graph state — SweepGraph is the single-graph special case:
+//
+//	g := storagesched.GenLayeredDAG(8, 25, 4, 1)
+//	res, err := storagesched.SweepGraph(context.Background(), g,
+//		storagesched.SweepConfig{Deltas: grid})
 package storagesched
 
 import (
@@ -125,6 +134,10 @@ func ReadInstanceJSON(r io.Reader) (*Instance, error) { return model.ReadInstanc
 // NewGraph builds a task DAG with no arcs; add precedence with
 // (*Graph).AddEdge(u, v) meaning u must complete before v starts.
 func NewGraph(m int, p []Time, s []Mem) *Graph { return dag.New(m, p, s) }
+
+// ReadGraphJSON decodes a task DAG from JSON — the instance format
+// plus an "edges" array of [u, v] pairs — and validates it.
+func ReadGraphJSON(r io.Reader) (*Graph, error) { return dag.ReadGraphJSON(r) }
 
 // GraphFromInstance wraps independent tasks as an edgeless DAG.
 func GraphFromInstance(in *Instance) *Graph { return dag.FromInstance(in) }
@@ -273,10 +286,20 @@ func Sweep(ctx context.Context, in *Instance, cfg SweepConfig) (*SweepResult, er
 	return engine.Sweep(ctx, in, cfg)
 }
 
+// SweepGraph is the task-DAG form of Sweep: it runs the RLS tie-breaks
+// over the δ ≥ 2 part of the grid against memoized per-graph state
+// (topological structure, bottom levels, tie ranks, bounds) and
+// assembles the approximate Pareto front of the achieved (Cmax, Mmax)
+// points. SBO is defined on independent tasks and does not run.
+func SweepGraph(ctx context.Context, g *Graph, cfg SweepConfig) (*SweepResult, error) {
+	return engine.SweepGraph(ctx, g, cfg)
+}
+
 // Batched multi-instance sweeps (streaming fronts in bounded memory).
 type (
-	// BatchItem is one instance of a batch sweep with an optional
-	// per-instance config override or source error.
+	// BatchItem is one work item of a batch sweep — an instance or a
+	// task DAG — with an optional per-item config override or source
+	// error.
 	BatchItem = engine.BatchItem
 	// BatchConfig is the batch-wide sweep default plus the shared pool
 	// size (Workers) and the streaming window (MaxPending).
@@ -297,6 +320,11 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 // BatchOf adapts a slice of instances to the item sequence SweepBatch
 // consumes.
 func BatchOf(instances ...*Instance) iter.Seq[BatchItem] { return engine.BatchOf(instances...) }
+
+// BatchOfGraphs adapts a slice of task DAGs to the item sequence
+// SweepBatch consumes; graph and instance items mix freely in one
+// batch (set BatchItem.Graph or BatchItem.Instance per item).
+func BatchOfGraphs(graphs ...*Graph) iter.Seq[BatchItem] { return engine.BatchOfGraphs(graphs...) }
 
 // SweepLinearGrid returns n evenly spaced δ values covering [lo, hi],
 // or an error for an invalid grid shape.

@@ -222,3 +222,64 @@ func TestFacadeExactSolvers(t *testing.T) {
 		t.Errorf("BnB %d != DP %d", optB, opt)
 	}
 }
+
+// TestFacadeSweepGraph drives the graph-sweep surface end to end: the
+// JSON graph format round-trips through the facade, SweepGraph builds
+// an RLS-only front, and a mixed graph/instance batch streams both
+// kinds in order.
+func TestFacadeSweepGraph(t *testing.T) {
+	g := GenForkJoin(4, 4, 3, 2)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadGraphJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraphJSON: %v", err)
+	}
+	if decoded.N() != g.N() || decoded.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip lost structure: n=%d e=%d, want n=%d e=%d",
+			decoded.N(), decoded.NumEdges(), g.N(), g.NumEdges())
+	}
+
+	grid, err := SweepGeometricGrid(2, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SweepGraph(context.Background(), decoded, SweepConfig{Deltas: grid})
+	if err != nil {
+		t.Fatalf("SweepGraph: %v", err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty graph front")
+	}
+	for _, r := range res.Runs {
+		if r.Algorithm != SweepRLS {
+			t.Fatalf("graph sweep ran %s", r.Label())
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Label(), r.Err)
+		}
+		if err := r.RLS.Schedule.Validate(decoded.PredLists()); err != nil {
+			t.Fatalf("%s: schedule violates precedence: %v", r.Label(), err)
+		}
+	}
+
+	// Mixed batch: a graph and an instance through one pool.
+	var got []BatchResult
+	err = SweepBatch(context.Background(),
+		func(yield func(BatchItem) bool) {
+			_ = yield(BatchItem{Graph: decoded}) && yield(BatchItem{Instance: GenUniform(30, 4, 1)})
+		},
+		BatchConfig{Config: SweepConfig{Deltas: grid}},
+		func(br BatchResult) error { got = append(got, br); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Err != nil || got[1].Err != nil {
+		t.Fatalf("mixed batch: %+v", got)
+	}
+	if !reflect.DeepEqual(got[0].Result.Front, res.Front) {
+		t.Errorf("batched graph front differs from SweepGraph")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"testing"
 
+	"storagesched/internal/cache"
 	"storagesched/internal/core"
 	"storagesched/internal/dag"
 	"storagesched/internal/engine"
@@ -204,6 +205,77 @@ func BenchmarkSweepBatchDAG_n30(b *testing.B) {
 			b.Fatalf("emitted %d fronts, want %d", emitted, len(graphs))
 		}
 	}
+}
+
+// Cached batch sweeps: the same 50-instance workload against a
+// content-addressed front cache. Cold pays the full sweep plus hashing
+// and write-back; warm serves every front from the cache — on a
+// repeated-instance batch (re-running an experiment grid, re-sweeping
+// a corpus across machines) the warm path is expected ≥ 5× the cold
+// one, and the pair is tracked in the BENCH_sweep.json artifact.
+//
+//	go test -bench 'BenchmarkSweepBatchCached' -benchtime=3x
+
+func benchSweepBatchCached(b *testing.B, c *cache.Cache) {
+	ins, cfg := sweepBatchWorkload(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emitted := 0
+		err := engine.SweepBatch(ctx, engine.BatchOf(ins...), engine.BatchConfig{Config: cfg, Cache: c},
+			func(br engine.BatchResult) error {
+				if br.Err != nil {
+					return br.Err
+				}
+				emitted++
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if emitted != len(ins) {
+			b.Fatalf("emitted %d fronts, want %d", emitted, len(ins))
+		}
+	}
+}
+
+func BenchmarkSweepBatchCachedCold_n50(b *testing.B) {
+	// A fresh memory-only cache per iteration: every front misses, is
+	// computed and written back — the full cold-path overhead.
+	ins, cfg := sweepBatchWorkload(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := cache.New(cache.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		err = engine.SweepBatch(ctx, engine.BatchOf(ins...), engine.BatchConfig{Config: cfg, Cache: c},
+			func(br engine.BatchResult) error { return br.Err })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepBatchCachedWarm_n50(b *testing.B) {
+	c, err := cache.New(cache.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate outside the timer, then measure the all-hit path.
+	ins, cfg := sweepBatchWorkload(b)
+	err = engine.SweepBatch(context.Background(), engine.BatchOf(ins...),
+		engine.BatchConfig{Config: cfg, Cache: c},
+		func(br engine.BatchResult) error { return br.Err })
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSweepBatchCached(b, c)
 }
 
 func BenchmarkSweepSequential_n50(b *testing.B) {

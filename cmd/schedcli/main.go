@@ -27,6 +27,24 @@
 //
 //	{"m": 2, "tasks": [{"id":0,"p":4,"s":1}, ...]}
 //	{"m": 2, "tasks": [...], "edges": [[0,1], [1,2]]}
+//
+// Repeated sweeps reuse fronts through a content-addressed cache
+// (-cache-dir for a disk tier shared across runs and machines,
+// -cache-mem for the in-process LRU bound), and large batches split
+// into K deterministic in-process shards merged back in input order
+// (-shards, -shard-policy) — the output is byte-identical either way:
+//
+//	schedcli sweepbatch -in instances/ -cache-dir ~/.sweepcache -shards 4
+//
+// The shard subcommand runs the same split across processes or
+// machines: `shard plan` writes plan.json plus one shard-<k>.list per
+// shard (each a valid sweepbatch -in input), `shard merge` interleaves
+// the per-shard JSONL outputs back into input order, and `shard exec`
+// drives the whole flow with one sweepbatch subprocess per shard:
+//
+//	schedcli shard plan -in instances/ -shards 4 -policy hash -out-dir plans/
+//	schedcli shard merge -plan plans/plan.json -out fronts.jsonl s0.jsonl s1.jsonl s2.jsonl s3.jsonl
+//	schedcli shard exec -in instances/ -shards 4 -out fronts.jsonl
 package main
 
 import (
@@ -56,6 +74,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "sweepbatch" {
 		if err := runSweepBatch(os.Args[2:], os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "schedcli: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "shard" {
+		if err := runShard(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "schedcli: %v\n", err)
 			os.Exit(1)
 		}
@@ -169,20 +194,28 @@ type batchFrontJSON struct {
 // output line, in input order.
 func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 	fs := flag.NewFlagSet("sweepbatch", flag.ContinueOnError)
-	inPath := fs.String("in", "", "directory of *.json instances, a .jsonl file (one instance per line), or a single .json instance (default: JSONL on stdin)")
+	inPath := fs.String("in", "", "directory of *.json instances, a .jsonl file (one instance per line), a .list file (one instance path per line), or a single .json instance (default: JSONL on stdin)")
 	outPath := fs.String("out", "", "output JSONL file (default: stdout)")
 	dmin := fs.Float64("dmin", 0.25, "smallest delta of the grid")
 	dmax := fs.Float64("dmax", 8, "largest delta of the grid")
 	points := fs.Int("points", 32, "number of grid points")
 	gridKind := fs.String("grid", "geo", "grid spacing: geo | lin")
-	workers := fs.Int("workers", 0, "shared pool size (0 = one per CPU)")
+	workers := fs.Int("workers", 0, "shared pool size (0 = one per CPU; with -shards, per shard)")
 	pending := fs.Int("pending", 0, "max instances in flight (0 = twice the workers)")
 	noSBO := fs.Bool("no-sbo", false, "skip the SBO family")
 	noRLS := fs.Bool("no-rls", false, "skip the RLS family")
+	cacheDir := fs.String("cache-dir", "", "content-addressed front cache directory (disk tier)")
+	cacheMem := fs.Int("cache-mem", 0, "front cache memory-tier entries (0 = default when caching; < 0 = disk-only)")
+	shards := fs.Int("shards", 1, "run the batch as K in-process shards merged in input order")
+	shardPolicy := fs.String("shard-policy", "hash", "shard placement: rr | hash (hash keeps identical items on one shard)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	grid, err := buildGrid(*gridKind, *dmin, *dmax, *points)
+	if err != nil {
+		return err
+	}
+	fcache, err := openCache(*cacheDir, *cacheMem)
 	if err != nil {
 		return err
 	}
@@ -213,57 +246,80 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 		n, m  int
 		edges int
 	}
+	tagged := func(yield func(sched.BatchItem) bool) {
+		for item, source := range items {
+			info := sourceInfo{name: source}
+			switch {
+			case item.Instance != nil:
+				info.n, info.m = item.Instance.N(), item.Instance.M
+			case item.Graph != nil:
+				info.n, info.m = item.Graph.N(), item.Graph.M
+				info.edges = item.Graph.NumEdges()
+			}
+			item.Tag = info
+			if !yield(item) {
+				return
+			}
+		}
+	}
+	bcfg := sched.BatchConfig{
+		Config: sched.SweepConfig{
+			Deltas:  grid,
+			Workers: *workers,
+			SkipSBO: *noSBO,
+			SkipRLS: *noRLS,
+		},
+		MaxPending: *pending,
+		Cache:      fcache,
+	}
 	total := 0
 	failed := 0
-	err = sched.SweepBatch(context.Background(),
-		func(yield func(sched.BatchItem) bool) {
-			for item, source := range items {
-				info := sourceInfo{name: source}
-				switch {
-				case item.Instance != nil:
-					info.n, info.m = item.Instance.N(), item.Instance.M
-				case item.Graph != nil:
-					info.n, info.m = item.Graph.N(), item.Graph.M
-					info.edges = item.Graph.NumEdges()
-				}
-				item.Tag = info
-				if !yield(item) {
-					return
-				}
-			}
-		},
-		sched.BatchConfig{
-			Config: sched.SweepConfig{
-				Deltas:  grid,
-				Workers: *workers,
-				SkipSBO: *noSBO,
-				SkipRLS: *noRLS,
-			},
-			MaxPending: *pending,
-		},
-		func(br sched.BatchResult) error {
-			total++
-			src := br.Tag.(sourceInfo)
-			line := batchFrontLine{Source: src.name, Index: br.Index, N: src.n, M: src.m, Edges: src.edges}
-			if br.Err != nil {
-				failed++
-				line.Error = br.Err.Error()
-				return enc.Encode(line)
-			}
-			res := br.Result
-			line.CmaxLB = res.Bounds.CmaxLB
-			line.MmaxLB = res.Bounds.MmaxLB
-			line.Runs = len(res.Runs)
-			line.Front = make([]batchFrontJSON, len(res.Front))
-			for i, p := range res.Front {
-				line.Front[i] = batchFrontJSON{
-					Cmax:    p.Value.Cmax,
-					Mmax:    p.Value.Mmax,
-					Witness: res.Runs[p.RunIndex].Label(),
-				}
-			}
+	emitLine := func(br sched.BatchResult) error {
+		total++
+		src := br.Tag.(sourceInfo)
+		line := batchFrontLine{Source: src.name, Index: br.Index, N: src.n, M: src.m, Edges: src.edges}
+		if br.Err != nil {
+			failed++
+			line.Error = br.Err.Error()
 			return enc.Encode(line)
-		})
+		}
+		res := br.Result
+		line.CmaxLB = res.Bounds.CmaxLB
+		line.MmaxLB = res.Bounds.MmaxLB
+		line.Runs = len(res.Runs)
+		line.Front = make([]batchFrontJSON, len(res.Front))
+		for i, p := range res.Front {
+			line.Front[i] = batchFrontJSON{
+				Cmax:    p.Value.Cmax,
+				Mmax:    p.Value.Mmax,
+				Witness: res.Runs[p.RunIndex].Label(),
+			}
+		}
+		return enc.Encode(line)
+	}
+	if *shards > 1 {
+		// Sharded: materialize the stream, place items deterministically
+		// and run one pool per shard; results merge back in input order,
+		// so the output is byte-identical to an unsharded run.
+		policy, perr := sched.ParseShardPolicy(*shardPolicy)
+		if perr != nil {
+			return perr
+		}
+		var all []sched.BatchItem
+		tagged(func(it sched.BatchItem) bool { all = append(all, it); return true })
+		plan, perr := sched.NewShardPlan(*shards, policy, all)
+		if perr != nil {
+			return perr
+		}
+		err = sched.ShardedSweepBatch(context.Background(), all, plan, bcfg, emitLine)
+	} else {
+		err = sched.SweepBatch(context.Background(), tagged, bcfg, emitLine)
+	}
+	if fcache != nil {
+		st := fcache.Stats()
+		fmt.Fprintf(os.Stderr, "schedcli: cache %d hits (%d mem, %d disk), %d misses, %d evictions\n",
+			st.Hits, st.MemHits, st.DiskHits, st.Misses, st.Evictions)
+	}
 	if err != nil {
 		if outFile != nil {
 			outFile.Close()
@@ -327,10 +383,55 @@ func batchItems(inPath string, stdin io.Reader) (iter.Seq2[sched.BatchItem, stri
 		}
 		return jsonlItems(filepath.Base(inPath), f, f), nil
 	}
+	if strings.HasSuffix(inPath, ".list") {
+		paths, err := readListFile(inPath)
+		if err != nil {
+			return nil, err
+		}
+		return func(yield func(sched.BatchItem, string) bool) {
+			for _, name := range paths {
+				if !yield(fileItem(name), filepath.Base(name)) {
+					return
+				}
+			}
+		}, nil
+	}
 	// Single instance or graph JSON file.
 	return func(yield func(sched.BatchItem, string) bool) {
 		yield(fileItem(inPath), filepath.Base(inPath))
 	}, nil
+}
+
+// openCache builds the front cache selected by the -cache-dir and
+// -cache-mem flags; both zero means caching off (a nil cache).
+func openCache(dir string, mem int) (*sched.SweepCache, error) {
+	if dir == "" && mem == 0 {
+		return nil, nil
+	}
+	return sched.NewSweepCache(sched.CacheConfig{Dir: dir, MemEntries: mem})
+}
+
+// readListFile reads a .list file: one instance/graph path per line,
+// used verbatim (blank lines and #-comments skipped). The shard plan
+// subcommand emits these so `sweepbatch -in shard-K.list` subprocesses
+// sweep exactly their slice of a planned batch. An empty list is a
+// valid empty batch — a plan with more shards than items legitimately
+// leaves some shards without work, and their sweep must still produce
+// an (empty) output for the merge.
+func readListFile(name string) ([]string, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		paths = append(paths, line)
+	}
+	return paths, nil
 }
 
 // fileItem reads one *.json file as a batch item: files named

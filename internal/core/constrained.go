@@ -40,15 +40,32 @@ var ErrNotCertified = errors.New("core: no schedule found within the memory budg
 
 // ConstrainedDAG schedules a task DAG under a hard memory budget capM.
 // On success the returned schedule satisfies Mmax ≤ capM.
+//
+// Each call validates, ranks and solves from scratch. A budget sweep
+// over one graph should prepare once with PrepareRLS and call
+// Constrained per cap instead — the δ-independent work (validation,
+// topological structure, tie ranks) is then paid once for the whole
+// sweep.
 func ConstrainedDAG(g *dag.Graph, capM model.Mem, tie TieBreak) (*RLSResult, error) {
-	if err := g.Validate(); err != nil {
+	prep, err := PrepareRLS(g, tie)
+	if err != nil {
 		return nil, err
 	}
-	lb := bounds.MemLB(g.S, g.M)
+	return prep.Constrained(capM, tie)
+}
+
+// Constrained is the Section 7 DAG solver against the prepared state:
+// it schedules under the hard memory budget capM via RunWithCap,
+// reusing the memoized validation, lower bound and tie ranks instead
+// of recomputing them per call. It reports ErrInfeasible below the
+// Graham lower bound and ErrNotCertified in the [LB, 2·LB) band where
+// the greedy may legitimately fail, exactly like ConstrainedDAG.
+func (prep *RLSGraphPrepared) Constrained(capM model.Mem, tie TieBreak) (*RLSResult, error) {
+	lb := prep.lb
 	if capM < lb {
 		return nil, fmt.Errorf("%w (LB=%d, budget=%d)", ErrInfeasible, lb, capM)
 	}
-	res, err := RLSWithCap(g, capM, tie)
+	res, err := prep.RunWithCap(capM, tie)
 	if err != nil {
 		var tooSmall ErrCapTooSmall
 		if errors.As(err, &tooSmall) {

@@ -289,3 +289,57 @@ func maxMem(a, b model.Mem) model.Mem {
 	}
 	return b
 }
+
+// A budget sweep over one graph shares a single prepared value across
+// all caps: every outcome — success, ErrNotCertified, ErrInfeasible —
+// must match a fresh ConstrainedDAG call at the same cap, while the
+// validation and tie-ranking work is paid exactly once.
+func TestConstrainedDAGPreparedBudgetSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		g := randGraph(rng, 16, 4, 0.3, 50)
+		lb := bounds.MemLB(g.S, g.M)
+		prep, err := PrepareRLS(g, TieSPT)
+		if err != nil {
+			t.Fatalf("trial %d: PrepareRLS: %v", trial, err)
+		}
+		// Sweep the budget from provably infeasible through the
+		// uncertified band into the guaranteed region.
+		for cap := lb - 1; cap <= 3*lb; cap += maxMem(1, lb/4) {
+			got, gotErr := prep.Constrained(cap, TieSPT)
+			want, wantErr := ConstrainedDAG(g, cap, TieSPT)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("trial %d cap %d: prepared err %v, fresh err %v", trial, cap, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if !errors.Is(gotErr, ErrInfeasible) && !errors.Is(gotErr, ErrNotCertified) {
+					t.Fatalf("trial %d cap %d: unexpected error %v", trial, cap, gotErr)
+				}
+				if gotErr.Error() != wantErr.Error() {
+					t.Errorf("trial %d cap %d: error %q, want %q", trial, cap, gotErr, wantErr)
+				}
+				continue
+			}
+			if got.Cmax != want.Cmax || got.Mmax != want.Mmax || got.Cap != want.Cap {
+				t.Errorf("trial %d cap %d: prepared (Cmax=%d,Mmax=%d,Cap=%d), fresh (Cmax=%d,Mmax=%d,Cap=%d)",
+					trial, cap, got.Cmax, got.Mmax, got.Cap, want.Cmax, want.Mmax, want.Cap)
+			}
+			if got.Mmax > cap {
+				t.Errorf("trial %d cap %d: Mmax %d exceeds budget", trial, cap, got.Mmax)
+			}
+			if err := got.Schedule.Validate(g.PredLists()); err != nil {
+				t.Errorf("trial %d cap %d: invalid schedule: %v", trial, cap, err)
+			}
+		}
+		// Below-LB budgets are ErrInfeasible without touching the solver.
+		if lb > 0 {
+			if _, err := prep.Constrained(lb-1, TieSPT); !errors.Is(err, ErrInfeasible) {
+				t.Errorf("trial %d: budget below LB: %v", trial, err)
+			}
+		}
+		// An unprepared tie-break surfaces as an error, not a panic.
+		if _, err := prep.Constrained(3*lb+1, TieLPT); err == nil {
+			t.Errorf("trial %d: unprepared tie-break accepted", trial)
+		}
+	}
+}

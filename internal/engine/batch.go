@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"storagesched/internal/bounds"
+	"storagesched/internal/cache"
 	"storagesched/internal/core"
 	"storagesched/internal/dag"
 	"storagesched/internal/makespan"
@@ -84,6 +85,21 @@ type BatchConfig struct {
 	// instances the sequence yields. 0 means 2× the worker count, so
 	// the pool stays fed across instance boundaries.
 	MaxPending int
+
+	// Cache, when non-nil, is the content-addressed front cache the
+	// batch consults at admission and writes back at emission: an item
+	// whose key (canonical bytes + config fingerprint) is present skips
+	// job generation entirely and its cached Result streams out in the
+	// usual order. Cached Results reproduce the front artifacts exactly
+	// — Bounds, every Run's provenance, objective value and error, and
+	// the Front — but carry nil per-run witness payloads (Assignment,
+	// SBO, RLS), which are too large to cache profitably; sweep summary
+	// output is byte-identical either way, and BatchResult.CacheHit
+	// tells the cases apart. A corrupt or undecodable entry is a miss —
+	// the item is computed and the entry overwritten. The cache may be
+	// shared across batches, goroutines and (via its disk tier) shard
+	// processes.
+	Cache *cache.Cache
 }
 
 // BatchResult is one instance's outcome. Results are delivered in
@@ -105,6 +121,10 @@ type BatchResult struct {
 
 	// Tag is the item's Tag, echoed verbatim.
 	Tag any
+
+	// CacheHit reports that Result was served from BatchConfig.Cache
+	// instead of being computed.
+	CacheHit bool
 }
 
 // batchJob is one (instance, grid point) evaluation in the shared pool.
@@ -133,6 +153,13 @@ type batchState struct {
 	prepGraph *core.RLSGraphPrepared
 	bounds    bounds.Record
 	err       error
+
+	// cached is the decoded Result of a cache hit (the item ran no
+	// jobs); key/writeBack route a computed Result back into the cache
+	// at emission.
+	cached    *Result
+	key       cache.Key
+	writeBack bool
 
 	remaining atomic.Int64
 	skipped   atomic.Bool
@@ -278,6 +305,21 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 					close(st.done)
 					break
 				}
+				// Admission consults the cache before job generation: a
+				// decodable hit makes the item jobless and its Result
+				// streams out in the usual order. A miss (or a corrupt
+				// entry) records the key for write-back at emission.
+				if cfg.Cache != nil {
+					st.key = itemKey(st)
+					if data, ok := cfg.Cache.Get(st.key); ok {
+						if res, derr := decodeResult(data); derr == nil {
+							st.cached = res
+							close(st.done)
+							break
+						}
+					}
+					st.writeBack = true
+				}
 				st.jobs = jobs
 				st.runs = make([]Run, len(jobs))
 				st.remaining.Store(int64(len(jobs)))
@@ -351,8 +393,17 @@ emitting:
 			break emitting
 		}
 		br := BatchResult{Index: st.index, Err: st.err, Tag: st.tag}
-		if st.err == nil {
+		switch {
+		case st.cached != nil:
+			br.Result = st.cached
+			br.CacheHit = true
+		case st.err == nil:
 			br.Result = &Result{Bounds: st.bounds, Runs: st.runs, Front: assembleFront(st.runs)}
+			if st.writeBack {
+				if data, eerr := encodeResult(br.Result); eerr == nil {
+					cfg.Cache.Put(st.key, data)
+				}
+			}
 		}
 		// Drop the prepared state before emitting: only the Result —
 		// now owned by the caller — outlives this iteration.

@@ -10,6 +10,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ABL1", "ABL2", "ABL3",
+		"CACHEABL",
 		"COR1", "COR23", "COR4",
 		"DAGSWEEP",
 		"EXT1", "EXT2", "EXT3", "EXT4",

@@ -1,0 +1,318 @@
+// Package shard coordinates cluster-scale sweeps: it splits a batch of
+// work items into K deterministic shards, runs each shard through its
+// own engine.SweepBatch pool — in this process or in subprocesses
+// driving `schedcli sweepbatch` — and merges the per-shard outputs
+// back into input order, so a sharded run is byte-identical to an
+// unsharded one.
+//
+// Two placement policies exist. RoundRobin deals items out cyclically,
+// balancing counts. HashAffine places items by their content hash
+// (the same canonical bytes internal/cache keys on), so identical
+// items always land on the same shard — shard-local caches stay hot
+// and repeated instances never warm two shards with the same front.
+//
+// The merge side is deliberately simple: because the plan is
+// deterministic, the item at global position g lives at a known
+// position of a known shard, and each shard emits its slice in order.
+// Merging is therefore a sequential walk of the plan, pulling the next
+// result from the owning shard — no reorder buffer beyond each
+// shard's bounded channel.
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"storagesched/internal/cache"
+	"storagesched/internal/engine"
+)
+
+// Policy selects how items are placed on shards.
+type Policy int
+
+const (
+	// RoundRobin deals items out cyclically: item i goes to shard
+	// i mod K. Balances item counts regardless of content.
+	RoundRobin Policy = iota
+	// HashAffine places each item by its content hash modulo K, so
+	// identical items always share a shard (hot shard-local caches).
+	// Items with no content (source errors) fall back to round-robin.
+	HashAffine
+)
+
+// String implements fmt.Stringer; the forms parse back via
+// ParsePolicy.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "rr"
+	case HashAffine:
+		return "hash"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy parses a policy name as accepted on command lines.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "rr", "roundrobin", "round-robin":
+		return RoundRobin, nil
+	case "hash", "hash-affine", "affine":
+		return HashAffine, nil
+	}
+	return 0, fmt.Errorf("shard: unknown policy %q (want rr | hash)", s)
+}
+
+// Plan is a deterministic placement of n items onto K shards.
+type Plan struct {
+	K      int
+	Policy Policy
+	// Shards[i] is the shard of input item i.
+	Shards []int
+}
+
+// ItemHash returns the content hash used for hash-affine placement:
+// the 64-bit fold of the item's canonical bytes. ok is false for items
+// with no content (source errors, empty items), which the planner
+// places round-robin instead.
+func ItemHash(item engine.BatchItem) (uint64, bool) {
+	switch {
+	case item.Err != nil:
+		return 0, false
+	case item.Graph != nil:
+		return cache.KeyFor(cache.CanonicalGraph(item.Graph), "").Hash64(), true
+	case item.Instance != nil:
+		return cache.KeyFor(cache.CanonicalInstance(item.Instance), "").Hash64(), true
+	}
+	return 0, false
+}
+
+// NewPlan places items onto k shards under the policy. The placement
+// depends only on (k, policy, item contents), never on timing, so the
+// same inputs always produce the same plan — on every machine of a
+// cluster.
+func NewPlan(k int, policy Policy, items []engine.BatchItem) (*Plan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shard: k = %d, need k >= 1", k)
+	}
+	p := &Plan{K: k, Policy: policy, Shards: make([]int, len(items))}
+	for i, item := range items {
+		switch policy {
+		case RoundRobin:
+			p.Shards[i] = i % k
+		case HashAffine:
+			if h, ok := ItemHash(item); ok {
+				p.Shards[i] = int(h % uint64(k))
+			} else {
+				p.Shards[i] = i % k
+			}
+		default:
+			return nil, fmt.Errorf("shard: unknown policy %v", policy)
+		}
+	}
+	return p, nil
+}
+
+// Counts returns the number of items per shard.
+func (p *Plan) Counts() []int {
+	counts := make([]int, p.K)
+	for _, s := range p.Shards {
+		counts[s]++
+	}
+	return counts
+}
+
+// Locals returns, per shard, the global indexes of its items in global
+// order — the shard's slice of the input, and the key to relabelling a
+// shard's local output indexes back to global ones.
+func (p *Plan) Locals() [][]int {
+	locals := make([][]int, p.K)
+	for g, s := range p.Shards {
+		locals[s] = append(locals[s], g)
+	}
+	return locals
+}
+
+// Run executes the plan in-process: one engine.SweepBatch pool per
+// shard, all running concurrently, with results merged back into
+// global input order and streamed to emit (sequentially, like
+// SweepBatch itself). Emitted BatchResult.Index values are global.
+// cfg applies to every shard — in particular cfg.Workers sizes each
+// shard's pool, so total parallelism is K × workers.
+//
+// A shard that runs ahead of the merge blocks on its bounded channel,
+// so memory stays O(K × window) however many items the plan covers.
+// Per-item failures flow through as BatchResult.Err exactly as in an
+// unsharded batch; a shard-level failure (or an emit error) cancels
+// every shard and is returned.
+func Run(ctx context.Context, items []engine.BatchItem, plan *Plan, cfg engine.BatchConfig, emit func(engine.BatchResult) error) error {
+	if plan == nil {
+		return fmt.Errorf("shard: nil plan")
+	}
+	if len(plan.Shards) != len(items) {
+		return fmt.Errorf("shard: plan covers %d items, got %d", len(plan.Shards), len(items))
+	}
+	if emit == nil {
+		return fmt.Errorf("shard: nil emit callback")
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	locals := plan.Locals()
+	window := cfg.MaxPending
+	if window <= 0 {
+		window = 4
+	}
+	chans := make([]chan engine.BatchResult, plan.K)
+	errs := make([]error, plan.K)
+	var wg sync.WaitGroup
+	for s := 0; s < plan.K; s++ {
+		chans[s] = make(chan engine.BatchResult, window)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer close(chans[s])
+			mine := locals[s]
+			seq := func(yield func(engine.BatchItem) bool) {
+				for _, g := range mine {
+					if !yield(items[g]) {
+						return
+					}
+				}
+			}
+			local := 0
+			errs[s] = engine.SweepBatch(sctx, seq, cfg, func(br engine.BatchResult) error {
+				br.Index = mine[local]
+				local++
+				select {
+				case chans[s] <- br:
+					return nil
+				case <-sctx.Done():
+					return sctx.Err()
+				}
+			})
+		}(s)
+	}
+
+	var emitErr error
+	emitted := 0
+	for g := range plan.Shards {
+		br, ok := <-chans[plan.Shards[g]]
+		if !ok {
+			// The owning shard ended early; its error is reported after
+			// the goroutines drain.
+			break
+		}
+		if err := emit(br); err != nil {
+			emitErr = err
+			break
+		}
+		emitted++
+	}
+	if emitted != len(plan.Shards) {
+		// Early termination only: cancel the shards and drain their
+		// channels so pools parked on a send wind down. On the success
+		// path the shards have already returned — cancelling before
+		// they observe their own completion would turn their final
+		// ctx.Err() check into a spurious failure.
+		cancel()
+		for _, ch := range chans {
+			go func(ch chan engine.BatchResult) {
+				for range ch {
+				}
+			}(ch)
+		}
+	}
+	wg.Wait()
+	if emitErr != nil {
+		return emitErr
+	}
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if emitted != len(plan.Shards) {
+		// Unreachable unless an engine invariant breaks, but a silent
+		// short merge must never look like success.
+		return fmt.Errorf("shard: merged %d of %d items", emitted, len(plan.Shards))
+	}
+	return nil
+}
+
+// MergeJSONL merges per-shard JSONL outputs (one line per item, in
+// each shard's local order) back into global input order. For global
+// position g the next line of shard plan.Shards[g] is passed to
+// rewrite together with g — the caller relabels its local index to the
+// global one (nil rewrite passes lines through) — and written to w
+// with a trailing newline.
+//
+// The merge is strict: a shard output with fewer or more non-empty
+// lines than its plan slice is an error, because a silent mismatch
+// would misattribute every later front to the wrong item.
+func MergeJSONL(w io.Writer, plan *Plan, shardOutputs []io.Reader, rewrite func(line []byte, globalIndex int) ([]byte, error)) error {
+	if plan == nil {
+		return fmt.Errorf("shard: nil plan")
+	}
+	if len(shardOutputs) != plan.K {
+		return fmt.Errorf("shard: %d outputs for %d shards", len(shardOutputs), plan.K)
+	}
+	scanners := make([]*bufio.Scanner, plan.K)
+	for s, r := range shardOutputs {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+		scanners[s] = sc
+	}
+	next := func(s int) ([]byte, error) {
+		sc := scanners[s]
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			return line, nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("shard: reading shard %d output: %w", s, err)
+		}
+		return nil, nil
+	}
+	bw := bufio.NewWriter(w)
+	for g, s := range plan.Shards {
+		line, err := next(s)
+		if err != nil {
+			return err
+		}
+		if line == nil {
+			return fmt.Errorf("shard: shard %d output ended before item %d", s, g)
+		}
+		if rewrite != nil {
+			if line, err = rewrite(line, g); err != nil {
+				return fmt.Errorf("shard: rewriting item %d (shard %d): %w", g, s, err)
+			}
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	for s := range scanners {
+		if line, err := next(s); err != nil {
+			return err
+		} else if line != nil {
+			return fmt.Errorf("shard: shard %d output has lines beyond its plan slice", s)
+		}
+	}
+	return bw.Flush()
+}

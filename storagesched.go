@@ -94,6 +94,7 @@ import (
 	"iter"
 
 	"storagesched/internal/bounds"
+	"storagesched/internal/cache"
 	"storagesched/internal/core"
 	"storagesched/internal/dag"
 	"storagesched/internal/engine"
@@ -102,6 +103,7 @@ import (
 	"storagesched/internal/makespan"
 	"storagesched/internal/model"
 	"storagesched/internal/pareto"
+	"storagesched/internal/shard"
 )
 
 // Model types.
@@ -205,6 +207,18 @@ const (
 // RLS runs Restricted List Scheduling on a task DAG with ∆ ≥ 2.
 func RLS(g *Graph, delta float64, tie TieBreak) (*RLSResult, error) { return core.RLS(g, delta, tie) }
 
+// RLSGraphPrepared memoizes the ∆-independent work of RLS on a task
+// DAG (validation, topological structure, tie ranks); Run, RunWithCap
+// and Constrained evaluate against it without re-ranking per call.
+type RLSGraphPrepared = core.RLSGraphPrepared
+
+// PrepareRLS validates the graph and precomputes tie ranks (all four
+// tie-breaks when none are given) for repeated RLS evaluations — a
+// ∆- or budget-sweep over one graph prepares once and runs per point.
+func PrepareRLS(g *Graph, ties ...TieBreak) (*RLSGraphPrepared, error) {
+	return core.PrepareRLS(g, ties...)
+}
+
 // RLSIndependent runs the Section 5.2 independent-task variant (use
 // TieSPT for the tri-objective guarantee of Corollary 4).
 func RLSIndependent(in *Instance, delta float64, tie TieBreak) (*RLSResult, error) {
@@ -227,7 +241,9 @@ var (
 	ErrNotCertified = core.ErrNotCertified
 )
 
-// ConstrainedDAG schedules a DAG under a hard memory budget.
+// ConstrainedDAG schedules a DAG under a hard memory budget. For a
+// budget sweep over one graph, PrepareRLS once and call
+// (*RLSGraphPrepared).Constrained per budget instead.
 func ConstrainedDAG(g *Graph, budget Mem, tie TieBreak) (*RLSResult, error) {
 	return core.ConstrainedDAG(g, budget, tie)
 }
@@ -325,6 +341,61 @@ func BatchOf(instances ...*Instance) iter.Seq[BatchItem] { return engine.BatchOf
 // SweepBatch consumes; graph and instance items mix freely in one
 // batch (set BatchItem.Graph or BatchItem.Instance per item).
 func BatchOfGraphs(graphs ...*Graph) iter.Seq[BatchItem] { return engine.BatchOfGraphs(graphs...) }
+
+// Content-addressed front caching (see internal/cache): sweeps keyed
+// by canonical item bytes + config fingerprint, stored in an in-memory
+// LRU tier and an optional corruption-tolerant disk tier.
+type (
+	// SweepCache is the two-tier content-addressed front cache; set it
+	// on BatchConfig.Cache to skip recomputing known fronts. A nil
+	// *SweepCache means caching off.
+	SweepCache = cache.Cache
+	// CacheConfig selects the cache directory (disk tier) and the
+	// memory-tier entry bound.
+	CacheConfig = cache.Config
+	// CacheStats is a snapshot of hit/miss/eviction counters.
+	CacheStats = cache.Stats
+)
+
+// NewSweepCache builds a front cache; wire it into a batch via
+// BatchConfig.Cache. Results served from it reproduce the front
+// artifacts (bounds, run provenance and values, the front) exactly and
+// are flagged BatchResult.CacheHit; the per-run witness schedules are
+// not retained — consumers that need them sweep uncached.
+func NewSweepCache(cfg CacheConfig) (*SweepCache, error) { return cache.New(cfg) }
+
+// Shard coordination (see internal/shard): deterministic splitting of
+// a batch across K pools or processes with order-preserving merges.
+type (
+	// ShardPolicy places items on shards (round-robin or hash-affine).
+	ShardPolicy = shard.Policy
+	// ShardPlan is a deterministic placement of items onto K shards.
+	ShardPlan = shard.Plan
+)
+
+// Shard placement policies. Hash-affine placement routes identical
+// items to the same shard, keeping shard-local caches hot.
+const (
+	ShardRoundRobin = shard.RoundRobin
+	ShardHashAffine = shard.HashAffine
+)
+
+// ParseShardPolicy parses a policy name ("rr" | "hash") as accepted on
+// command lines.
+func ParseShardPolicy(s string) (ShardPolicy, error) { return shard.ParsePolicy(s) }
+
+// NewShardPlan places items onto k shards under the policy; the plan
+// depends only on the inputs, never on timing.
+func NewShardPlan(k int, policy ShardPolicy, items []BatchItem) (*ShardPlan, error) {
+	return shard.NewPlan(k, policy, items)
+}
+
+// ShardedSweepBatch runs the plan with one SweepBatch pool per shard
+// and streams results to emit in global input order — byte-identical
+// to an unsharded SweepBatch over the same items and config.
+func ShardedSweepBatch(ctx context.Context, items []BatchItem, plan *ShardPlan, cfg BatchConfig, emit func(BatchResult) error) error {
+	return shard.Run(ctx, items, plan, cfg, emit)
+}
 
 // SweepLinearGrid returns n evenly spaced δ values covering [lo, hi],
 // or an error for an invalid grid shape.

@@ -3,6 +3,7 @@ package storagesched
 import (
 	"bytes"
 	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -281,5 +282,112 @@ func TestFacadeSweepGraph(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got[0].Result.Front, res.Front) {
 		t.Errorf("batched graph front differs from SweepGraph")
+	}
+}
+
+// TestFacadeCacheAndShards drives the cluster-scale surface end to
+// end: a front cache serves a warm batch byte-for-byte, a shard plan
+// routes identical items together, and a sharded batch reproduces the
+// unsharded stream.
+func TestFacadeCacheAndShards(t *testing.T) {
+	grid, err := SweepGeometricGrid(0.5, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{Instance: GenUniform(30, 4, 1)},
+		{Graph: GenForkJoin(4, 3, 3, 2)},
+		{Instance: GenUniform(30, 4, 1)}, // duplicate of item 0
+	}
+
+	c, err := NewSweepCache(CacheConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BatchConfig{Config: SweepConfig{Deltas: grid}, Cache: c}
+	seq := func(yield func(BatchItem) bool) {
+		for _, it := range items {
+			if !yield(it) {
+				return
+			}
+		}
+	}
+	collect := func() []BatchResult {
+		t.Helper()
+		var got []BatchResult
+		if err := SweepBatch(context.Background(), seq, cfg, func(br BatchResult) error {
+			got = append(got, br)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	cold := collect()
+	warm := collect()
+	var st CacheStats = c.Stats()
+	if st.Hits < int64(len(items)) || st.Misses == 0 {
+		t.Fatalf("cache stats %+v after cold+warm passes", st)
+	}
+	for i := range items {
+		if !warm[i].CacheHit {
+			t.Errorf("warm item %d not served from cache", i)
+		}
+		if !reflect.DeepEqual(cold[i].Result.Front, warm[i].Result.Front) {
+			t.Errorf("item %d: warm front differs from cold", i)
+		}
+	}
+
+	plan, err := NewShardPlan(2, ShardHashAffine, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards[0] != plan.Shards[2] {
+		t.Error("hash-affine plan split identical items")
+	}
+	if _, err := ParseShardPolicy("rr"); err != nil {
+		t.Errorf("ParseShardPolicy(rr): %v", err)
+	}
+	var sharded []BatchResult
+	if err := ShardedSweepBatch(context.Background(), items, plan, cfg, func(br BatchResult) error {
+		sharded = append(sharded, br)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if sharded[i].Index != i {
+			t.Fatalf("sharded order: got %d at position %d", sharded[i].Index, i)
+		}
+		if !reflect.DeepEqual(sharded[i].Result.Front, cold[i].Result.Front) {
+			t.Errorf("item %d: sharded front differs", i)
+		}
+	}
+}
+
+// TestFacadePreparedConstrainedDAG exercises the budget-sweep reuse
+// surface: one PrepareRLS value serves every cap.
+func TestFacadePreparedConstrainedDAG(t *testing.T) {
+	g := GenLayeredDAG(3, 6, 3, 9)
+	prep, err := PrepareRLS(g, TieSPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := prep.LB()
+	for cap := 2 * lb; cap <= 3*lb; cap += lb {
+		got, err := prep.Constrained(cap, TieSPT)
+		if err != nil {
+			t.Fatalf("cap %d: %v", cap, err)
+		}
+		want, err := ConstrainedDAG(g, cap, TieSPT)
+		if err != nil {
+			t.Fatalf("cap %d fresh: %v", cap, err)
+		}
+		if got.Cmax != want.Cmax || got.Mmax != want.Mmax {
+			t.Errorf("cap %d: prepared (%d,%d) != fresh (%d,%d)", cap, got.Cmax, got.Mmax, want.Cmax, want.Mmax)
+		}
+	}
+	if _, err := prep.Constrained(lb-1, TieSPT); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("below-LB budget: %v", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"storagesched/internal/makespan"
 	"storagesched/internal/model"
 	"storagesched/internal/pareto"
+	"storagesched/internal/refine"
 )
 
 // benchExperiment regenerates one registered experiment per iteration.
@@ -157,6 +158,44 @@ func BenchmarkSweepBatch_n50(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		emitted := 0
 		err := engine.SweepBatch(ctx, engine.BatchOf(ins...), engine.BatchConfig{Config: cfg},
+			func(br engine.BatchResult) error {
+				if br.Err != nil {
+					return br.Err
+				}
+				emitted++
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if emitted != len(ins) {
+			b.Fatalf("emitted %d fronts, want %d", emitted, len(ins))
+		}
+	}
+}
+
+// Adaptive batch sweeps: the 50-instance workload through the
+// two-pass refinement pipeline (coarse pass, bend detection, targeted
+// second pass, merged fronts). Tracked in the BENCH_sweep.json
+// artifact next to the fixed-grid batch benchmarks: the adaptive cost
+// should stay within a small factor of a fixed-grid sweep of the same
+// total run count, since both passes share one pool configuration.
+func BenchmarkSweepBatchAdaptive_n50(b *testing.B) {
+	ins := make([]*model.Instance, sweepBatchInstances)
+	for i := range ins {
+		ins[i] = gen.Uniform(120, 8, int64(i+1))
+	}
+	// A coarse 4-point grid whose fronts leave refinable gaps; the
+	// refinement pass adds up to 8 δ values per instance.
+	grid, err := engine.GeometricGrid(0.5, 8, 4)
+	cfg := engine.BatchConfig{Config: engine.Config{Deltas: benchGrid(b, grid, err), Workers: runtime.NumCPU()}}
+	rcfg := refine.Config{Gap: 0.05, MaxPoints: 8}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emitted := 0
+		err := refine.SweepBatchAdaptive(ctx, engine.BatchOf(ins...), cfg, rcfg,
 			func(br engine.BatchResult) error {
 				if br.Err != nil {
 					return br.Err

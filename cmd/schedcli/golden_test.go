@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/schedcli -run TestSweepBatchGolden -update
+var update = flag.Bool("update", false, "rewrite the sweepbatch golden files")
+
+// The sweepbatch JSONL output is a contract: shard merge interleaves
+// these lines byte-wise, and the CI smoke job diffs whole files. The
+// golden tests pin the exact bytes for the smoke testdata — with and
+// without adaptive refinement — so any drift in field order, number
+// formatting or front assembly fails loudly here instead of silently
+// breaking the merge contract downstream.
+func TestSweepBatchGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"sweepbatch.jsonl", []string{
+			"-in", filepath.Join("testdata", "smoke"),
+			"-dmin", "0.5", "-dmax", "8", "-points", "6",
+		}},
+		{"sweepbatch_refine.jsonl", []string{
+			"-in", filepath.Join("testdata", "smoke"),
+			"-dmin", "0.5", "-dmax", "8", "-points", "6",
+			"-refine", "-refine-gap", "0.05", "-refine-max-points", "6",
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := runSweepBatch(tc.args, strings.NewReader(""), &buf); err != nil {
+				t.Fatalf("sweepbatch %v: %v", tc.args, err)
+			}
+			golden := filepath.Join("testdata", "golden", tc.name)
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("sweepbatch output drifted from %s\ngot:\n%swant:\n%s", golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// The refined golden must not degenerate into the plain one: the smoke
+// fronts have flagged gaps at these settings, so refinement adds runs.
+func TestSweepBatchGoldenRefineDiffers(t *testing.T) {
+	plain, err := os.ReadFile(filepath.Join("testdata", "golden", "sweepbatch.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := os.ReadFile(filepath.Join("testdata", "golden", "sweepbatch_refine.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(plain, refined) {
+		t.Error("refined golden identical to the plain one; refinement never fired on the smoke data")
+	}
+}

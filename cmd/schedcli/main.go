@@ -28,6 +28,15 @@
 //	{"m": 2, "tasks": [{"id":0,"p":4,"s":1}, ...]}
 //	{"m": 2, "tasks": [...], "edges": [[0,1], [1,2]]}
 //
+// With -refine the batch runs the adaptive two-pass pipeline: a coarse
+// sweep at the configured grid, then a refinement pass that re-sweeps
+// each item only where its front's relative gap exceeds -refine-gap
+// (at most -refine-max-points new δ values per item; task DAGs plan
+// RLS-eligible points only). The merged fronts print in the same JSONL
+// format, one deduplicated front per item:
+//
+//	schedcli sweepbatch -in instances/ -refine -refine-gap 0.1
+//
 // Repeated sweeps reuse fronts through a content-addressed cache
 // (-cache-dir for a disk tier shared across runs and machines,
 // -cache-mem for the in-process LRU bound), and large batches split
@@ -208,8 +217,14 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 	cacheMem := fs.Int("cache-mem", 0, "front cache memory-tier entries (0 = default when caching; < 0 = disk-only)")
 	shards := fs.Int("shards", 1, "run the batch as K in-process shards merged in input order")
 	shardPolicy := fs.String("shard-policy", "hash", "shard placement: rr | hash (hash keeps identical items on one shard)")
+	doRefine := fs.Bool("refine", false, "adaptive two-pass sweep: re-sweep δ-intervals where each front's relative gap exceeds -refine-gap")
+	refineGap := fs.Float64("refine-gap", sched.DefaultRefineGap, "relative front gap above which the δ-interval is refined")
+	refineMax := fs.Int("refine-max-points", sched.DefaultRefineMaxPoints, "refinement δ points budgeted per item")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *doRefine && *shards > 1 {
+		return fmt.Errorf("-refine runs the batch through the two-pass adaptive pipeline and does not compose with -shards")
 	}
 	grid, err := buildGrid(*gridKind, *dmin, *dmax, *points)
 	if err != nil {
@@ -312,6 +327,12 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 			return perr
 		}
 		err = sched.ShardedSweepBatch(context.Background(), all, plan, bcfg, emitLine)
+	} else if *doRefine {
+		// Adaptive: a coarse pass at the configured grid, then a
+		// refinement pass targeting each front's bends; one merged
+		// front per line, still in input order.
+		rcfg := sched.RefineConfig{Gap: *refineGap, MaxPoints: *refineMax}
+		err = sched.SweepBatchAdaptive(context.Background(), tagged, bcfg, rcfg, emitLine)
 	} else {
 		err = sched.SweepBatch(context.Background(), tagged, bcfg, emitLine)
 	}

@@ -266,6 +266,9 @@ func TestRunSweepBatchRejectsBadInputs(t *testing.T) {
 		{"-in", dir, "-no-sbo", "-no-rls"},
 		{"-in", filepath.Join(t.TempDir(), "missing")},
 		{"-in", t.TempDir()}, // no *.json files
+		{"-in", dir, "-refine", "-shards", "2"},
+		{"-in", dir, "-refine", "-refine-gap", "-0.5"},
+		{"-in", dir, "-refine", "-refine-max-points", "-2"},
 	}
 	for _, args := range cases {
 		if err := runSweepBatch(args, strings.NewReader(""), &buf); err == nil {

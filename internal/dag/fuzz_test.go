@@ -1,0 +1,72 @@
+package dag_test
+
+// Native fuzz target for the task-DAG JSON reader (the instance format
+// plus a positional edge list), which is fed untrusted *.graph.json
+// files by schedcli. The contract under fuzzing: never panic — edge
+// indexes out of range, self-loops and cycles must all surface as
+// errors — and every accepted graph must survive the canonical round
+// trip with an identical cache serialization.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"storagesched/internal/cache"
+	"storagesched/internal/dag"
+)
+
+// seedCorpus mirrors the helper of the same name in the model fuzz
+// test: every committed *.json under the smoke testdata plus inline
+// edge cases.
+func seedCorpus(f *testing.F, literals []string) {
+	f.Helper()
+	names, err := filepath.Glob(filepath.Join("..", "..", "cmd", "schedcli", "testdata", "smoke", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, lit := range literals {
+		f.Add([]byte(lit))
+	}
+}
+
+func FuzzReadGraphJSON(f *testing.F) {
+	seedCorpus(f, []string{
+		`{"m":1,"tasks":[{"p":1,"s":0}],"edges":[]}`,
+		`{"m":2,"tasks":[{"p":1,"s":1},{"p":2,"s":2}],"edges":[[0,1]]}`,
+		`{"m":2,"tasks":[{"p":1,"s":1},{"p":2,"s":2}],"edges":[[1,0],[0,1]]}`, // cycle
+		`{"m":2,"tasks":[{"p":1,"s":1}],"edges":[[0,0]]}`,                     // self-loop
+		`{"m":2,"tasks":[{"p":1,"s":1}],"edges":[[0,7]]}`,                     // out of range
+		`{"m":2,"tasks":[{"p":1,"s":1}],"edges":[[-1,0]]}`,
+		`{"m":2,"tasks":[{"id":1,"p":1,"s":1},{"id":0,"p":1,"s":1}],"edges":[[0,1]]}`, // reordered IDs
+		`{}`,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := dag.ReadGraphJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		canonical := cache.CanonicalGraph(g)
+
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted graph failed to encode: %v", err)
+		}
+		again, err := dag.ReadGraphJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded graph rejected: %v\ninput: %q", err, data)
+		}
+		if got := cache.CanonicalGraph(again); !bytes.Equal(got, canonical) {
+			t.Fatalf("canonical serialization not stable across a round trip:\n first: %q\nsecond: %q\ninput: %q",
+				canonical, got, data)
+		}
+	})
+}

@@ -72,6 +72,21 @@ func BatchOfGraphs(graphs ...*dag.Graph) iter.Seq[BatchItem] {
 	}
 }
 
+// BatchOfItems adapts prepared batch items — mixed kinds, overrides
+// and tags intact — to the sequence SweepBatch consumes, yielding
+// them in slice order. Unlike a streaming producer, the slice can be
+// replayed, which is what the adaptive refinement pipeline's second
+// pass needs.
+func BatchOfItems(items ...BatchItem) iter.Seq[BatchItem] {
+	return func(yield func(BatchItem) bool) {
+		for _, item := range items {
+			if !yield(item) {
+				return
+			}
+		}
+	}
+}
+
 // BatchConfig parameterizes SweepBatch. The embedded Config is the
 // default sweep configuration of every instance (items may override it
 // individually); its Workers field sizes the one pool shared by the
@@ -398,7 +413,7 @@ emitting:
 			br.Result = st.cached
 			br.CacheHit = true
 		case st.err == nil:
-			br.Result = &Result{Bounds: st.bounds, Runs: st.runs, Front: assembleFront(st.runs)}
+			br.Result = &Result{Bounds: st.bounds, Runs: st.runs, Front: AssembleFront(st.runs)}
 			if st.writeBack {
 				if data, eerr := encodeResult(br.Result); eerr == nil {
 					cfg.Cache.Put(st.key, data)

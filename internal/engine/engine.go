@@ -342,9 +342,12 @@ func execute(j job, prepSBO *core.SBOPrepared, prepRLS *core.RLSPrepared) Run {
 	return run
 }
 
-// assembleFront keeps the non-dominated values of the successful runs,
+// AssembleFront keeps the non-dominated values of the successful runs,
 // one witness per distinct value (lowest run index), sorted by Cmax.
-func assembleFront(runs []Run) []FrontPoint {
+// It is how every sweep Result derives Front from Runs; refinement
+// passes (internal/refine) call it to merge coarse and refined run
+// lists into one deduplicated front.
+func AssembleFront(runs []Run) []FrontPoint {
 	var pts []FrontPoint
 	for i, r := range runs {
 		if r.Err != nil {

@@ -10,6 +10,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ABL1", "ABL2", "ABL3",
+		"ADAPTIVE",
 		"CACHEABL",
 		"COR1", "COR23", "COR4",
 		"DAGSWEEP",

@@ -1,0 +1,70 @@
+package model_test
+
+// Native fuzz target for the instance JSON reader, which is fed
+// untrusted files by schedcli. The contract under fuzzing: never
+// panic, and every accepted instance must survive the canonical
+// round trip — re-encoding and re-reading it yields the same
+// canonical cache serialization, so content-addressed keys are stable
+// across a decode/encode cycle.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"storagesched/internal/cache"
+	"storagesched/internal/model"
+)
+
+// seedCorpus feeds every committed *.json under the smoke testdata
+// (shared with the schedcli golden tests) plus inline edge cases.
+func seedCorpus(f *testing.F, literals []string) {
+	f.Helper()
+	names, err := filepath.Glob(filepath.Join("..", "..", "cmd", "schedcli", "testdata", "smoke", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, lit := range literals {
+		f.Add([]byte(lit))
+	}
+}
+
+func FuzzReadInstanceJSON(f *testing.F) {
+	seedCorpus(f, []string{
+		`{"m":1,"tasks":[{"p":1,"s":0}]}`,
+		`{"m":0,"tasks":[]}`,
+		`{"m":2,"tasks":[{"id":1,"p":3,"s":1},{"id":0,"p":2,"s":2}]}`,
+		`{"m":2,"tasks":[{"p":-1,"s":-1}]}`,
+		`{"m":1,"tasks":[{"p":9223372036854775807,"s":9223372036854775807}]}`,
+		`not json`,
+		`{}`,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := model.ReadInstanceJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		canonical := cache.CanonicalInstance(in)
+
+		var buf bytes.Buffer
+		if err := in.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted instance failed to encode: %v", err)
+		}
+		again, err := model.ReadInstanceJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded instance rejected: %v\ninput: %q", err, data)
+		}
+		if got := cache.CanonicalInstance(again); !bytes.Equal(got, canonical) {
+			t.Fatalf("canonical serialization not stable across a round trip:\n first: %q\nsecond: %q\ninput: %q",
+				canonical, got, data)
+		}
+	})
+}

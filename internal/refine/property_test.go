@@ -1,0 +1,122 @@
+package refine
+
+// Property-based front invariants over randomized workloads: whatever
+// the instance or graph, every emitted front must be sorted, mutually
+// non-dominated and achieved by its runs, and an adaptive front must
+// pointwise weakly dominate the coarse front it refines. The workloads
+// are drawn from the deterministic generators across many seeds, so
+// failures reproduce exactly.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"storagesched/internal/engine"
+	"storagesched/internal/gen"
+)
+
+// checkFrontInvariants asserts the structural contract of a front:
+// strictly increasing Cmax, strictly decreasing Mmax (monotone, no
+// duplicate values), pairwise non-domination, and every successful run
+// weakly dominated by some front point.
+func checkFrontInvariants(t *testing.T, label string, res *engine.Result) {
+	t.Helper()
+	front := res.Front
+	for i := 1; i < len(front); i++ {
+		a, b := front[i-1], front[i]
+		if b.Value.Cmax <= a.Value.Cmax {
+			t.Errorf("%s: front Cmax not strictly increasing at %d: %v then %v", label, i, a.Value, b.Value)
+		}
+		if b.Value.Mmax >= a.Value.Mmax {
+			t.Errorf("%s: front Mmax not strictly decreasing at %d: %v then %v", label, i, a.Value, b.Value)
+		}
+	}
+	for i, p := range front {
+		if p.RunIndex < 0 || p.RunIndex >= len(res.Runs) {
+			t.Fatalf("%s: front point %d has witness %d out of range", label, i, p.RunIndex)
+		}
+		if w := res.Runs[p.RunIndex]; w.Err != nil || w.Value != p.Value {
+			t.Errorf("%s: front point %d not achieved by its witness run", label, i)
+		}
+		for j, q := range front {
+			if i != j && q.Value.Dominates(p.Value) {
+				t.Errorf("%s: front point %v dominated by front point %v", label, p.Value, q.Value)
+			}
+		}
+	}
+	for i, r := range res.Runs {
+		if r.Err != nil {
+			continue
+		}
+		covered := false
+		for _, p := range front {
+			if p.Value.WeaklyDominates(r.Value) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("%s: run %d value %v not covered by the front", label, i, r.Value)
+		}
+	}
+}
+
+// checkPointwiseDominance asserts that every point of the coarse front
+// is weakly dominated by some point of the adaptive front — refinement
+// may only improve.
+func checkPointwiseDominance(t *testing.T, label string, coarse, adaptive []engine.FrontPoint) {
+	t.Helper()
+	for _, cp := range coarse {
+		ok := false
+		for _, ap := range adaptive {
+			if ap.Value.WeaklyDominates(cp.Value) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: coarse front point %v not weakly dominated by the adaptive front", label, cp.Value)
+		}
+	}
+}
+
+func TestFrontInvariantsRandomized(t *testing.T) {
+	ctx := context.Background()
+	grid, err := engine.GeometricGrid(0.25, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.BatchConfig{Config: engine.Config{Deltas: grid}}
+	rcfg := Config{Gap: 0.05, MaxPoints: 10}
+
+	for seed := int64(1); seed <= 8; seed++ {
+		items := []engine.BatchItem{
+			{Instance: gen.Uniform(60, 6, seed)},
+			{Instance: gen.EmbeddedCode(50, 5, seed)},
+			{Instance: gen.GridBatch(40, 8, seed)},
+			{Graph: gen.ForkJoin(6, 4, 8, seed)},
+			{Graph: gen.LayeredDAG(5, 8, 4, seed)},
+		}
+		var coarse []engine.BatchResult
+		if err := engine.SweepBatch(ctx, sliceSeq(items), cfg, func(br engine.BatchResult) error {
+			coarse = append(coarse, br)
+			return br.Err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var adaptive []engine.BatchResult
+		if err := SweepBatchAdaptive(ctx, sliceSeq(items), cfg, rcfg, func(br engine.BatchResult) error {
+			adaptive = append(adaptive, br)
+			return br.Err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range items {
+			label := fmt.Sprintf("seed %d item %d", seed, i)
+			checkFrontInvariants(t, label+" coarse", coarse[i].Result)
+			checkFrontInvariants(t, label+" adaptive", adaptive[i].Result)
+			checkPointwiseDominance(t, label, coarse[i].Result.Front, adaptive[i].Result.Front)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package refine
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"storagesched/internal/engine"
+	"storagesched/internal/model"
+)
+
+// synthetic builds a Result with one successful run per δ and a front
+// whose i-th point is witnessed by the run at witness[i]. Values are
+// chosen by the caller; runs not referenced by the front still count
+// as coarse grid points for dedup and bracketing.
+func synthetic(deltas []float64, values []model.Value, witness []int) *engine.Result {
+	res := &engine.Result{Runs: make([]engine.Run, len(deltas))}
+	for i, d := range deltas {
+		res.Runs[i] = engine.Run{Algorithm: engine.AlgSBO, Delta: d}
+	}
+	for i, w := range witness {
+		res.Runs[w].Value = values[i]
+		res.Front = append(res.Front, engine.FrontPoint{Value: values[i], RunIndex: w})
+	}
+	return res
+}
+
+// Regression (issue satellite): fronts with nothing to refine — nil
+// Results, empty fronts, single-point fronts — must plan no work and
+// must not divide by zero or panic.
+func TestGridNothingToRefine(t *testing.T) {
+	cases := map[string]*engine.Result{
+		"nil result":   nil,
+		"empty result": {},
+		"empty front":  synthetic([]float64{1, 2, 4}, nil, nil),
+		"single point": synthetic([]float64{1, 2, 4}, []model.Value{{Cmax: 10, Mmax: 10}}, []int{1}),
+		"zero values": synthetic([]float64{1, 2},
+			[]model.Value{{Cmax: 0, Mmax: 0}, {Cmax: 0, Mmax: 0}}, []int{0, 1}),
+	}
+	for name, res := range cases {
+		for _, graph := range []bool{false, true} {
+			grid, err := Grid(res, graph, Config{})
+			if err != nil {
+				t.Errorf("%s (graph=%v): unexpected error %v", name, graph, err)
+			}
+			if len(grid) != 0 {
+				t.Errorf("%s (graph=%v): planned %v, want no refinement", name, graph, grid)
+			}
+		}
+	}
+}
+
+func TestGridConfigErrors(t *testing.T) {
+	res := synthetic([]float64{1, 4},
+		[]model.Value{{Cmax: 10, Mmax: 20}, {Cmax: 20, Mmax: 5}}, []int{0, 1})
+	for name, cfg := range map[string]Config{
+		"negative gap":        {Gap: -0.1},
+		"NaN gap":             {Gap: math.NaN()},
+		"infinite gap":        {Gap: math.Inf(1)},
+		"negative max points": {MaxPoints: -3},
+	} {
+		if _, err := Grid(res, false, cfg); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestGridSubdividesFlaggedSpan(t *testing.T) {
+	// Front witnesses at δ=2 and δ=4 with a 50% gap; the unreferenced
+	// run at δ=1 both brackets the span downward and is excluded from
+	// the plan as an already-swept point.
+	res := synthetic([]float64{1, 2, 4},
+		[]model.Value{{Cmax: 10, Mmax: 10}, {Cmax: 20, Mmax: 5}}, []int{1, 2})
+	grid, err := Grid(res, false, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) == 0 || len(grid) > DefaultMaxPoints {
+		t.Fatalf("planned %d points, want 1..%d: %v", len(grid), DefaultMaxPoints, grid)
+	}
+	if !sort.Float64sAreSorted(grid) {
+		t.Errorf("grid not sorted: %v", grid)
+	}
+	seen := map[float64]bool{1: true, 2: true, 4: true}
+	for _, d := range grid {
+		if d <= 1 || d >= 4 {
+			t.Errorf("point %g outside the bracketed span (1, 4)", d)
+		}
+		if seen[d] {
+			t.Errorf("point %g duplicates a swept or planned point", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestGridBelowThresholdPlansNothing(t *testing.T) {
+	// 50% gap, threshold 60%: nothing to do.
+	res := synthetic([]float64{2, 4},
+		[]model.Value{{Cmax: 10, Mmax: 10}, {Cmax: 20, Mmax: 5}}, []int{0, 1})
+	grid, err := Grid(res, false, Config{Gap: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 0 {
+		t.Errorf("gap below threshold still planned %v", grid)
+	}
+}
+
+func TestGridDegenerateWitnessInterval(t *testing.T) {
+	// Both witnesses at the same δ (two tie-breaks of one grid point)
+	// and no other grid point to bracket with: nothing to subdivide.
+	res := &engine.Result{Runs: []engine.Run{
+		{Algorithm: engine.AlgRLS, Delta: 2, Value: model.Value{Cmax: 10, Mmax: 10}},
+		{Algorithm: engine.AlgRLS, Delta: 2, Value: model.Value{Cmax: 20, Mmax: 5}},
+	}}
+	res.Front = []engine.FrontPoint{
+		{Value: model.Value{Cmax: 10, Mmax: 10}, RunIndex: 0},
+		{Value: model.Value{Cmax: 20, Mmax: 5}, RunIndex: 1},
+	}
+	grid, err := Grid(res, false, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 0 {
+		t.Errorf("degenerate witness interval planned %v", grid)
+	}
+}
+
+func TestGridGraphClampsToDeltaTwo(t *testing.T) {
+	// A synthetic span reaching below δ=2: a graph refinement may only
+	// plan RLS-eligible points, so everything below 2 is clamped away.
+	res := synthetic([]float64{1, 2.5, 4},
+		[]model.Value{{Cmax: 10, Mmax: 10}, {Cmax: 20, Mmax: 5}}, []int{0, 2})
+	grid, err := Grid(res, true, Config{MaxPoints: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) == 0 {
+		t.Fatal("no refinement planned")
+	}
+	for _, d := range grid {
+		if d < 2 {
+			t.Errorf("graph plan contains δ=%g < 2", d)
+		}
+	}
+}
+
+func TestGridBudgetSplitsAcrossSpans(t *testing.T) {
+	// Two flagged gaps; the budget must cover both spans, not just the
+	// higher-scoring one.
+	res := synthetic([]float64{1, 2, 4},
+		[]model.Value{
+			{Cmax: 10, Mmax: 100},
+			{Cmax: 20, Mmax: 50},
+			{Cmax: 40, Mmax: 10},
+		}, []int{0, 1, 2})
+	grid, err := Grid(res, false, Config{MaxPoints: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var below, above int
+	for _, d := range grid {
+		if d < 2 {
+			below++
+		}
+		if d > 2 {
+			above++
+		}
+	}
+	if below == 0 || above == 0 {
+		t.Errorf("budget not split across both spans: %v", grid)
+	}
+}
+
+func TestMaxRelGap(t *testing.T) {
+	front := []engine.FrontPoint{
+		{Value: model.Value{Cmax: 10, Mmax: 100}},
+		{Value: model.Value{Cmax: 20, Mmax: 90}},
+		{Value: model.Value{Cmax: 22, Mmax: 45}},
+	}
+	// Pair 1: max(10/20, 10/100) = 0.5; pair 2: max(2/22, 45/90) = 0.5.
+	if got := MaxRelGap(front); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MaxRelGap = %g, want 0.5", got)
+	}
+	if got := MaxRelGap(front[:1]); got != 0 {
+		t.Errorf("single-point front gap = %g, want 0", got)
+	}
+	if got := MaxRelGap(nil); got != 0 {
+		t.Errorf("empty front gap = %g, want 0", got)
+	}
+}

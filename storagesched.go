@@ -103,6 +103,7 @@ import (
 	"storagesched/internal/makespan"
 	"storagesched/internal/model"
 	"storagesched/internal/pareto"
+	"storagesched/internal/refine"
 	"storagesched/internal/shard"
 )
 
@@ -341,6 +342,53 @@ func BatchOf(instances ...*Instance) iter.Seq[BatchItem] { return engine.BatchOf
 // SweepBatch consumes; graph and instance items mix freely in one
 // batch (set BatchItem.Graph or BatchItem.Instance per item).
 func BatchOfGraphs(graphs ...*Graph) iter.Seq[BatchItem] { return engine.BatchOfGraphs(graphs...) }
+
+// BatchOfItems adapts prepared batch items — mixed kinds, overrides
+// and tags intact — to the sequence SweepBatch and SweepBatchAdaptive
+// consume, yielding them in slice order.
+func BatchOfItems(items ...BatchItem) iter.Seq[BatchItem] { return engine.BatchOfItems(items...) }
+
+// Adaptive δ-grid refinement (see internal/refine): a two-pass sweep
+// that spends extra grid points only where the front bends.
+type (
+	// RefineConfig selects the relative-gap threshold and the per-item
+	// refinement point budget of an adaptive sweep.
+	RefineConfig = refine.Config
+)
+
+// Adaptive-refinement defaults (RefineConfig zero values resolve to
+// these).
+const (
+	DefaultRefineGap       = refine.DefaultGap
+	DefaultRefineMaxPoints = refine.DefaultMaxPoints
+)
+
+// SweepBatchAdaptive runs a coarse SweepBatch pass at cfg's grid, then
+// a refinement pass whose per-item config overrides subdivide δ where
+// each coarse front's relative gaps exceed rcfg.Gap (graph items plan
+// RLS-eligible points only, δ ≥ 2). Coarse and refined runs merge into
+// one deduplicated front per item, emitted in input order. Both passes
+// share cfg's pool and cache; coarse entries are interchangeable with
+// plain SweepBatch runs of the same grid, refined entries key on their
+// own grid's fingerprint. Unlike SweepBatch, the pipeline holds every
+// item's coarse front until refinement completes — memory is O(items).
+func SweepBatchAdaptive(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig, rcfg RefineConfig, emit func(BatchResult) error) error {
+	return refine.SweepBatchAdaptive(ctx, items, cfg, rcfg, emit)
+}
+
+// RefineGrid plans the refinement δ-grid for one swept Result: the
+// δ-intervals bracketing adjacent front points whose relative gap
+// exceeds cfg.Gap, geometrically subdivided within cfg.MaxPoints.
+// graph marks task-DAG results, whose planned points are clamped to
+// δ ≥ 2. Fronts with fewer than two points plan nothing.
+func RefineGrid(res *SweepResult, graph bool, cfg RefineConfig) ([]float64, error) {
+	return refine.Grid(res, graph, cfg)
+}
+
+// FrontMaxRelGap returns the largest relative gap between adjacent
+// front points — the front-quality metric adaptive refinement drives
+// down.
+func FrontMaxRelGap(front []SweepFrontPoint) float64 { return refine.MaxRelGap(front) }
 
 // Content-addressed front caching (see internal/cache): sweeps keyed
 // by canonical item bytes + config fingerprint, stored in an in-memory

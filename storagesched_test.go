@@ -365,6 +365,78 @@ func TestFacadeCacheAndShards(t *testing.T) {
 	}
 }
 
+// TestFacadeAdaptiveSweep exercises the adaptive-refinement surface:
+// a two-pass batch whose merged fronts pointwise weakly dominate the
+// coarse ones, plus the grid planner and the gap metric.
+func TestFacadeAdaptiveSweep(t *testing.T) {
+	grid, err := SweepGeometricGrid(0.0625, 256, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{Instance: GenUniform(200, 16, 1)},
+		{Graph: GenForkJoin(8, 6, 10, 1)},
+	}
+	seq := BatchOfItems(items...)
+	cfg := BatchConfig{Config: SweepConfig{Deltas: grid}}
+
+	var coarse []BatchResult
+	if err := SweepBatch(context.Background(), seq, cfg, func(br BatchResult) error {
+		coarse = append(coarse, br)
+		return br.Err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := RefineConfig{Gap: 0.05, MaxPoints: 12}
+	var merged []BatchResult
+	if err := SweepBatchAdaptive(context.Background(), seq, cfg, rcfg, func(br BatchResult) error {
+		merged = append(merged, br)
+		return br.Err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(items) {
+		t.Fatalf("adaptive emitted %d results, want %d", len(merged), len(items))
+	}
+	refined := false
+	for i := range items {
+		if len(merged[i].Result.Runs) > len(coarse[i].Result.Runs) {
+			refined = true
+		}
+		if g, c := FrontMaxRelGap(merged[i].Result.Front), FrontMaxRelGap(coarse[i].Result.Front); g > c {
+			t.Errorf("item %d: adaptive max gap %.4f worse than coarse %.4f", i, g, c)
+		}
+		for _, cp := range coarse[i].Result.Front {
+			ok := false
+			for _, mp := range merged[i].Result.Front {
+				if mp.Value.WeaklyDominates(cp.Value) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("item %d: coarse point %v not dominated by adaptive front", i, cp.Value)
+			}
+		}
+	}
+	if !refined {
+		t.Error("no item was refined")
+	}
+
+	// The planner surface: the instance's coarse front plans points,
+	// and degenerate fronts plan nothing.
+	plan, err := RefineGrid(coarse[0].Result, false, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) == 0 || len(plan) > rcfg.MaxPoints {
+		t.Errorf("planned %d points, want 1..%d", len(plan), rcfg.MaxPoints)
+	}
+	if got, err := RefineGrid(&SweepResult{}, false, rcfg); err != nil || len(got) != 0 {
+		t.Errorf("empty result planned %v (err %v)", got, err)
+	}
+}
+
 // TestFacadePreparedConstrainedDAG exercises the budget-sweep reuse
 // surface: one PrepareRLS value serves every cap.
 func TestFacadePreparedConstrainedDAG(t *testing.T) {

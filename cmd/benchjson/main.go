@@ -45,6 +45,12 @@ type Benchmark struct {
 	MinNsOp   float64  `json:"min_ns_per_op"`
 	MeanNsOp  float64  `json:"mean_ns_per_op"`
 	SampleLen int      `json:"sample_count"`
+
+	// MeanAllocsOp is the mean allocs/op across samples, present only
+	// when the run used -benchmem or b.ReportAllocs. The diff gate
+	// guards it like ns/op, so allocation-discipline wins (the sweep
+	// path's O(1) allocs per job) cannot silently regress.
+	MeanAllocsOp float64 `json:"mean_allocs_per_op,omitempty"`
 }
 
 // Report is the artifact document.
@@ -184,15 +190,17 @@ func Parse(r io.Reader) (*Report, error) {
 		return nil, err
 	}
 	for _, b := range rep.Benchmarks {
-		min, sum := b.Samples[0].NsPerOp, 0.0
+		min, sum, allocSum := b.Samples[0].NsPerOp, 0.0, 0.0
 		for _, s := range b.Samples {
 			if s.NsPerOp < min {
 				min = s.NsPerOp
 			}
 			sum += s.NsPerOp
+			allocSum += s.AllocsPerOp
 		}
 		b.MinNsOp = min
 		b.MeanNsOp = sum / float64(len(b.Samples))
+		b.MeanAllocsOp = allocSum / float64(len(b.Samples))
 		b.SampleLen = len(b.Samples)
 	}
 	return rep, nil
@@ -212,26 +220,31 @@ func readReport(path string) (*Report, error) {
 	return rep, nil
 }
 
-// Diff compares mean ns/op per benchmark between a baseline and a head
-// artifact, writing one row per benchmark, and reports whether any
-// benchmark regressed by more than threshold percent. Benchmarks
+// Diff compares mean ns/op — and, when both sides carry them, mean
+// allocs/op — per benchmark between a baseline and a head artifact,
+// writing one row per benchmark, and reports whether any benchmark
+// regressed by more than threshold percent on either axis. Benchmarks
 // present on only one side are listed but do not regress the gate.
 func Diff(w io.Writer, base, head *Report, threshold float64) bool {
 	baseline := map[string]*Benchmark{}
 	for _, b := range base.Benchmarks {
 		baseline[b.Name] = b
 	}
-	fmt.Fprintf(w, "%-40s %14s %14s %9s  %s\n", "benchmark", "base ns/op", "head ns/op", "delta", "status")
+	fmt.Fprintf(w, "%-40s %14s %14s %9s %12s %12s %9s  %s\n",
+		"benchmark", "base ns/op", "head ns/op", "delta",
+		"base allocs", "head allocs", "adelta", "status")
 	regressed := false
 	for _, h := range head.Benchmarks {
 		b, ok := baseline[h.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-40s %14s %14.0f %9s  new\n", h.Name, "-", h.MeanNsOp, "-")
+			fmt.Fprintf(w, "%-40s %14s %14.0f %9s %12s %12.0f %9s  new\n",
+				h.Name, "-", h.MeanNsOp, "-", "-", h.MeanAllocsOp, "-")
 			continue
 		}
 		delete(baseline, h.Name)
 		if b.MeanNsOp <= 0 {
-			fmt.Fprintf(w, "%-40s %14.0f %14.0f %9s  skipped (zero baseline)\n", h.Name, b.MeanNsOp, h.MeanNsOp, "-")
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %9s %12s %12s %9s  skipped (zero baseline)\n",
+				h.Name, b.MeanNsOp, h.MeanNsOp, "-", "-", "-", "-")
 			continue
 		}
 		pct := (h.MeanNsOp - b.MeanNsOp) / b.MeanNsOp * 100
@@ -240,13 +253,25 @@ func Diff(w io.Writer, base, head *Report, threshold float64) bool {
 			status = fmt.Sprintf("REGRESSED (> %+.0f%%)", threshold)
 			regressed = true
 		}
-		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%%  %s\n", h.Name, b.MeanNsOp, h.MeanNsOp, pct, status)
+		// The allocs gate only engages when the baseline recorded
+		// allocations (older artifacts predate the column).
+		allocCols := fmt.Sprintf("%12s %12s %9s", "-", "-", "-")
+		if b.MeanAllocsOp > 0 {
+			apct := (h.MeanAllocsOp - b.MeanAllocsOp) / b.MeanAllocsOp * 100
+			allocCols = fmt.Sprintf("%12.0f %12.0f %+8.1f%%", b.MeanAllocsOp, h.MeanAllocsOp, apct)
+			if apct > threshold && status == "ok" {
+				status = fmt.Sprintf("REGRESSED allocs (> %+.0f%%)", threshold)
+				regressed = true
+			}
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%% %s  %s\n", h.Name, b.MeanNsOp, h.MeanNsOp, pct, allocCols, status)
 	}
 	// Stable order for benchmarks that disappeared: follow the base
 	// artifact's own ordering.
 	for _, b := range base.Benchmarks {
 		if _, gone := baseline[b.Name]; gone {
-			fmt.Fprintf(w, "%-40s %14.0f %14s %9s  removed\n", b.Name, b.MeanNsOp, "-", "-")
+			fmt.Fprintf(w, "%-40s %14.0f %14s %9s %12s %12s %9s  removed\n",
+				b.Name, b.MeanNsOp, "-", "-", "-", "-", "-")
 		}
 	}
 	if regressed {

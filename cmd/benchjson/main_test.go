@@ -51,6 +51,9 @@ func TestParse(t *testing.T) {
 	if serial.Samples[0].BytesPerOp != 1234567 || serial.Samples[0].AllocsPerOp != 12345 {
 		t.Errorf("benchmem columns not parsed: %+v", serial.Samples[0])
 	}
+	if want := (12345.0 + 12300.0) / 2; serial.MeanAllocsOp != want {
+		t.Errorf("mean allocs/op = %g, want %g", serial.MeanAllocsOp, want)
+	}
 
 	parallel := rep.Benchmarks[1]
 	if parallel.Name != "Sweep_Parallel" || parallel.SampleLen != 1 {
@@ -63,6 +66,9 @@ func TestParse(t *testing.T) {
 	batch := rep.Benchmarks[2]
 	if batch.Name != "SweepBatch_n50" || batch.Samples[0].BytesPerOp != 0 {
 		t.Errorf("bench without -benchmem columns mis-parsed: %+v", batch)
+	}
+	if batch.MeanAllocsOp != 0 {
+		t.Errorf("mean allocs/op without benchmem = %g, want 0", batch.MeanAllocsOp)
 	}
 }
 
@@ -150,6 +156,46 @@ func TestDiffCleanAndAsymmetric(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Errorf("clean diff printed FAIL:\n%s", out)
+	}
+}
+
+func mkReportAllocs(names []string, means, allocs []float64) *Report {
+	rep := mkReport(names, means)
+	for i, b := range rep.Benchmarks {
+		b.Samples[0].AllocsPerOp = allocs[i]
+		b.MeanAllocsOp = allocs[i]
+	}
+	return rep
+}
+
+func TestDiffDetectsAllocsRegression(t *testing.T) {
+	// ns/op steady, allocs/op up 10x: the gate must trip on the allocs
+	// axis alone — this is what guards the sweep path's O(1) allocs.
+	base := mkReportAllocs([]string{"A", "B"}, []float64{100, 100}, []float64{20, 1000})
+	head := mkReportAllocs([]string{"A", "B"}, []float64{101, 99}, []float64{200, 900})
+	var buf strings.Builder
+	if regressed := Diff(&buf, base, head, 20); !regressed {
+		t.Fatalf("10x allocs regression not flagged:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSED allocs") {
+		t.Errorf("allocs regression marker missing:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "B ") && strings.Contains(line, "REGRESSED") {
+			t.Errorf("improved-allocs row flagged: %q", line)
+		}
+	}
+}
+
+func TestDiffAllocsGateSkipsLegacyBaseline(t *testing.T) {
+	// A baseline artifact predating the allocs column (MeanAllocsOp 0)
+	// must not trip the allocs gate whatever the head records.
+	base := mkReport([]string{"A"}, []float64{100})
+	head := mkReportAllocs([]string{"A"}, []float64{100}, []float64{5000})
+	var buf strings.Builder
+	if regressed := Diff(&buf, base, head, 20); regressed {
+		t.Fatalf("legacy baseline tripped the allocs gate:\n%s", buf.String())
 	}
 }
 

@@ -76,6 +76,28 @@ func (prep *RLSGraphPrepared) Constrained(capM model.Mem, tie TieBreak) (*RLSRes
 	return res, nil
 }
 
+// Constrained is the independent-task mirror of the DAG solver: it
+// schedules under the hard memory budget capM against the prepared
+// orders via RunWithCap, with the same ErrInfeasible / ErrNotCertified
+// contract. A budget sweep prepares once and calls Constrained per
+// budget — the validation and tie-break orders are shared across the
+// whole band.
+func (prep *RLSPrepared) Constrained(capM model.Mem, tie TieBreak) (*RLSResult, error) {
+	lb := prep.lb
+	if capM < lb {
+		return nil, fmt.Errorf("%w (LB=%d, budget=%d)", ErrInfeasible, lb, capM)
+	}
+	res, err := prep.RunWithCap(capM, tie)
+	if err != nil {
+		var tooSmall ErrCapTooSmall
+		if errors.As(err, &tooSmall) {
+			return nil, fmt.Errorf("%w (LB=%d, budget=%d)", ErrNotCertified, lb, capM)
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
 // ConstrainedSBOResult carries the best SBO schedule found under a
 // memory budget, together with the parameter search trace.
 type ConstrainedSBOResult struct {
@@ -98,13 +120,24 @@ type ConstrainedSBOResult struct {
 // result is often better than what Property 2 alone certifies. The
 // search keeps the feasible schedule with the smallest measured Cmax.
 func ConstrainedSBO(in *model.Instance, capM model.Mem, algC, algM makespan.Algorithm, steps int) (*ConstrainedSBOResult, error) {
-	if err := in.Validate(); err != nil {
+	prep, err := PrepareSBO(in, algC, algM)
+	if err != nil {
 		return nil, err
 	}
+	return prep.Constrained(capM, steps)
+}
+
+// Constrained runs the ∆ parameter search against the prepared
+// sub-schedules: only the per-∆ merge is paid per grid point, and a
+// budget sweep reuses one prepared value for the whole band. It returns
+// exactly what ConstrainedSBO returns for the same instance,
+// sub-algorithms and steps.
+func (prep *SBOPrepared) Constrained(capM model.Mem, steps int) (*ConstrainedSBOResult, error) {
 	if steps < 1 {
 		steps = 32
 	}
-	lb := bounds.MemLB(in.S(), in.M)
+	in := prep.in
+	lb := bounds.MemLB(prep.s, in.M)
 	if capM < lb {
 		return nil, fmt.Errorf("%w (LB=%d, budget=%d)", ErrInfeasible, lb, capM)
 	}
@@ -112,8 +145,7 @@ func ConstrainedSBO(in *model.Instance, capM model.Mem, algC, algM makespan.Algo
 	// The memory sub-schedule π2 is the most memory-frugal anchor
 	// SBO can reach; if even it busts the budget the SBO family
 	// cannot certify this budget.
-	pi2 := algM.Assign(in.S(), in.M)
-	mVal := in.Mmax(pi2)
+	mVal := prep.m
 	if mVal > capM {
 		return nil, fmt.Errorf("%w (memory sub-schedule reaches Mmax=%d > budget=%d)", ErrNotCertified, mVal, capM)
 	}
@@ -143,7 +175,7 @@ func ConstrainedSBO(in *model.Instance, capM model.Mem, algC, algM makespan.Algo
 
 	res := &ConstrainedSBOResult{GuaranteedDelta: guaranteed}
 	for _, d := range deltas {
-		r, err := SBO(in, d, algC, algM)
+		r, err := prep.Run(d)
 		if err != nil {
 			return nil, err
 		}
@@ -157,14 +189,15 @@ func ConstrainedSBO(in *model.Instance, capM model.Mem, algC, algM makespan.Algo
 	}
 	if res.SBOResult == nil {
 		// π2 itself is feasible (checked above), so the all-π2
-		// fallback always lands here at worst: force it.
+		// fallback always lands here at worst: force it. The prepared
+		// π2 is shared state, so the result gets its own copy.
 		r := &SBOResult{
 			Delta:           math.Inf(1),
-			Assignment:      pi2,
+			Assignment:      append(model.Assignment(nil), prep.pi2...),
 			FromMemSchedule: make([]bool, in.N()),
-			C:               in.Cmax(algC.Assign(in.P(), in.M)),
+			C:               prep.c,
 			M:               mVal,
-			Cmax:            in.Cmax(pi2),
+			Cmax:            in.Cmax(prep.pi2),
 			Mmax:            mVal,
 		}
 		for i := range r.FromMemSchedule {
@@ -180,29 +213,65 @@ func ConstrainedSBO(in *model.Instance, capM model.Mem, algC, algM makespan.Algo
 // explicit cap (SPT order) — and returns the assignment with the
 // smaller makespan among the feasible ones.
 func ConstrainedIndependent(in *model.Instance, capM model.Mem) (model.Assignment, model.Value, error) {
-	if err := in.Validate(); err != nil {
+	prep, err := PrepareConstrainedIndependent(in)
+	if err != nil {
 		return nil, model.Value{}, err
 	}
-	lb := bounds.MemLB(in.S(), in.M)
-	if capM < lb {
-		return nil, model.Value{}, fmt.Errorf("%w (LB=%d, budget=%d)", ErrInfeasible, lb, capM)
+	return prep.Solve(capM)
+}
+
+// ConstrainedPrepared memoizes the budget-independent work of
+// ConstrainedIndependent — validation, the memory lower bound, the SBO
+// sub-schedules (LPT/LPT) and the RLS SPT order — so a sweep over a
+// budget band prepares once and calls Solve per budget. The prepared
+// value is immutable and safe for concurrent Solve calls.
+type ConstrainedPrepared struct {
+	sbo *SBOPrepared
+	rls *RLSPrepared
+	lb  model.Mem
+}
+
+// PrepareConstrainedIndependent validates the instance and runs the
+// budget-independent halves of both Section 7 routes.
+func PrepareConstrainedIndependent(in *model.Instance) (*ConstrainedPrepared, error) {
+	sbo, err := PrepareSBO(in, makespan.LPT{}, makespan.LPT{})
+	if err != nil {
+		return nil, err
+	}
+	rls, err := PrepareRLSIndependent(in, TieSPT)
+	if err != nil {
+		return nil, err
+	}
+	return &ConstrainedPrepared{sbo: sbo, rls: rls, lb: rls.lb}, nil
+}
+
+// LB returns the memoized Graham memory lower bound.
+func (prep *ConstrainedPrepared) LB() model.Mem { return prep.lb }
+
+// Solve runs both Section 7 routes under the budget against the
+// prepared state and returns the assignment with the smaller makespan
+// among the feasible ones — exactly what ConstrainedIndependent
+// returns for the same instance and budget.
+func (prep *ConstrainedPrepared) Solve(capM model.Mem) (model.Assignment, model.Value, error) {
+	if capM < prep.lb {
+		return nil, model.Value{}, fmt.Errorf("%w (LB=%d, budget=%d)", ErrInfeasible, prep.lb, capM)
 	}
 
 	var bestA model.Assignment
 	var bestV model.Value
 
-	if sbo, err := ConstrainedSBO(in, capM, makespan.LPT{}, makespan.LPT{}, 32); err == nil {
+	if sbo, err := prep.sbo.Constrained(capM, 32); err == nil {
 		bestA = sbo.Assignment
 		bestV = model.Value{Cmax: sbo.Cmax, Mmax: sbo.Mmax}
 	}
-	if rls, err := RLSIndependentWithCap(in, capM, TieSPT); err == nil && rls.Mmax <= capM {
+	if rls, err := prep.rls.RunWithCap(capM, TieSPT); err == nil && rls.Mmax <= capM {
 		if bestA == nil || rls.Cmax < bestV.Cmax {
 			bestA = rls.Schedule.Assignment()
 			bestV = model.Value{Cmax: rls.Cmax, Mmax: rls.Mmax}
 		}
 	}
 	if bestA == nil {
-		return nil, model.Value{}, fmt.Errorf("%w (LB=%d, budget=%d)", ErrNotCertified, lb, capM)
+		return nil, model.Value{}, fmt.Errorf("%w (LB=%d, budget=%d)", ErrNotCertified, prep.lb, capM)
 	}
 	return bestA, bestV, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -340,6 +341,146 @@ func TestConstrainedDAGPreparedBudgetSweep(t *testing.T) {
 		// An unprepared tie-break surfaces as an error, not a panic.
 		if _, err := prep.Constrained(3*lb+1, TieLPT); err == nil {
 			t.Errorf("trial %d: unprepared tie-break accepted", trial)
+		}
+	}
+}
+
+// TestRLSPreparedConstrainedParity walks a prepared independent-task
+// solver through the whole budget band and checks every outcome —
+// schedule, objectives and both error sentinels — against a fresh
+// RLSIndependentWithCap call per budget.
+func TestRLSPreparedConstrainedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(rng, 20, 4, 60)
+		prep, err := PrepareRLSIndependent(in, TieSPT)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lb := prep.LB()
+		for budget := maxMem(0, lb-2); budget <= 3*lb; budget += maxMem(1, lb/4) {
+			got, gotErr := prep.Constrained(budget, TieSPT)
+			if budget < lb {
+				if !errors.Is(gotErr, ErrInfeasible) {
+					t.Fatalf("trial %d budget %d: err = %v, want ErrInfeasible", trial, budget, gotErr)
+				}
+				continue
+			}
+			want, wantErr := RLSIndependentWithCap(in, budget, TieSPT)
+			if wantErr != nil {
+				var tooSmall ErrCapTooSmall
+				if !errors.As(wantErr, &tooSmall) {
+					t.Fatalf("trial %d budget %d: fresh err %v", trial, budget, wantErr)
+				}
+				if !errors.Is(gotErr, ErrNotCertified) {
+					t.Fatalf("trial %d budget %d: err = %v, want ErrNotCertified", trial, budget, gotErr)
+				}
+				continue
+			}
+			if gotErr != nil {
+				t.Fatalf("trial %d budget %d: prepared err %v, fresh nil", trial, budget, gotErr)
+			}
+			if got.Cmax != want.Cmax || got.Mmax != want.Mmax || got.SumCi != want.SumCi ||
+				got.Cap != want.Cap || got.Delta != want.Delta || got.LB != want.LB {
+				t.Fatalf("trial %d budget %d: prepared (%d,%d,%d) != fresh (%d,%d,%d)",
+					trial, budget, got.Cmax, got.Mmax, got.SumCi, want.Cmax, want.Mmax, want.SumCi)
+			}
+			ga, wa := got.Schedule.Assignment(), want.Schedule.Assignment()
+			for i := range ga {
+				if ga[i] != wa[i] {
+					t.Fatalf("trial %d budget %d: assignment diverges at task %d", trial, budget, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSBOPreparedConstrainedParity reuses one prepared SBO value over
+// the budget band and checks each outcome against a fresh
+// ConstrainedSBO call (which prepares from scratch every time).
+func TestSBOPreparedConstrainedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 6; trial++ {
+		in := randInstance(rng, 18, 4, 60)
+		prep, err := PrepareSBO(in, makespan.LPT{}, makespan.LPT{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lb := bounds.MemLB(in.S(), in.M)
+		for budget := maxMem(0, lb-2); budget <= 3*lb; budget += maxMem(1, lb/4) {
+			got, gotErr := prep.Constrained(budget, 16)
+			want, wantErr := ConstrainedSBO(in, budget, makespan.LPT{}, makespan.LPT{}, 16)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("trial %d budget %d: prepared err %v, fresh err %v", trial, budget, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("trial %d budget %d: error text diverges: %v vs %v", trial, budget, gotErr, wantErr)
+				}
+				continue
+			}
+			if got.Cmax != want.Cmax || got.Mmax != want.Mmax ||
+				got.Tried != want.Tried || got.GuaranteedDelta != want.GuaranteedDelta ||
+				got.Delta != want.Delta {
+				t.Fatalf("trial %d budget %d: prepared (Cmax=%d Mmax=%d tried=%d) != fresh (Cmax=%d Mmax=%d tried=%d)",
+					trial, budget, got.Cmax, got.Mmax, got.Tried, want.Cmax, want.Mmax, want.Tried)
+			}
+		}
+	}
+}
+
+// TestConstrainedPreparedSolveParity shares one ConstrainedPrepared
+// across the band — concurrently, as a budget sweep would — and checks
+// every Solve outcome against a fresh ConstrainedIndependent call.
+func TestConstrainedPreparedSolveParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 6; trial++ {
+		in := randInstance(rng, 18, 4, 60)
+		prep, err := PrepareConstrainedIndependent(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lb := prep.LB()
+		var budgets []model.Mem
+		for budget := maxMem(0, lb-2); budget <= 3*lb; budget += maxMem(1, lb/4) {
+			budgets = append(budgets, budget)
+		}
+		type outcome struct {
+			a   model.Assignment
+			v   model.Value
+			err error
+		}
+		got := make([]outcome, len(budgets))
+		var wg sync.WaitGroup
+		for k, budget := range budgets {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a, v, err := prep.Solve(budget)
+				got[k] = outcome{a: a, v: v, err: err}
+			}()
+		}
+		wg.Wait()
+		for k, budget := range budgets {
+			wantA, wantV, wantErr := ConstrainedIndependent(in, budget)
+			g := got[k]
+			if (g.err == nil) != (wantErr == nil) {
+				t.Fatalf("trial %d budget %d: prepared err %v, fresh err %v", trial, budget, g.err, wantErr)
+			}
+			if g.err != nil {
+				if g.err.Error() != wantErr.Error() {
+					t.Fatalf("trial %d budget %d: error text diverges: %v vs %v", trial, budget, g.err, wantErr)
+				}
+				continue
+			}
+			if g.v != wantV {
+				t.Fatalf("trial %d budget %d: value %v != fresh %v", trial, budget, g.v, wantV)
+			}
+			for i := range g.a {
+				if g.a[i] != wantA[i] {
+					t.Fatalf("trial %d budget %d: assignment diverges at task %d", trial, budget, i)
+				}
+			}
 		}
 	}
 }

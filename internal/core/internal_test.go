@@ -10,6 +10,7 @@ import (
 	"testing/quick"
 
 	"storagesched/internal/dag"
+	"storagesched/internal/exact"
 	"storagesched/internal/makespan"
 	"storagesched/internal/model"
 )
@@ -34,10 +35,75 @@ func TestMemCapFloorExactness(t *testing.T) {
 		{2.1, 10, 21},
 	}
 	for _, tc := range cases {
-		if got := memCapFloor(tc.delta, tc.lb); got != tc.want {
-			t.Errorf("memCapFloor(%g, %d) = %d, want %d", tc.delta, tc.lb, got, tc.want)
+		got, err := MemCap(tc.delta, tc.lb)
+		if err != nil {
+			t.Errorf("MemCap(%g, %d): %v", tc.delta, tc.lb, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("MemCap(%g, %d) = %d, want %d", tc.delta, tc.lb, got, tc.want)
 		}
 	}
+}
+
+func TestMemCapRangeAndEdges(t *testing.T) {
+	// The old float conversion silently truncated out-of-range caps to
+	// math.MaxInt64; MemCap must refuse them instead.
+	t.Run("overflow", func(t *testing.T) {
+		for _, tc := range []struct {
+			delta float64
+			lb    model.Mem
+		}{
+			{2.0, math.MaxInt64},
+			{2.0, math.MaxInt64/2 + 1},
+			{1e300, 1 << 40},
+			{math.MaxFloat64, 2},
+		} {
+			if got, err := MemCap(tc.delta, tc.lb); !errors.Is(err, exact.ErrRange) {
+				t.Errorf("MemCap(%g, %d) = (%d, %v), want ErrRange", tc.delta, tc.lb, got, err)
+			}
+		}
+	})
+	t.Run("near-maxint64", func(t *testing.T) {
+		// ∆ = 1 on the largest LB is exactly representable: the floor
+		// is MaxInt64 itself and must round-trip without error.
+		got, err := MemCap(1.0, math.MaxInt64)
+		if err != nil || got != math.MaxInt64 {
+			t.Errorf("MemCap(1, MaxInt64) = (%d, %v), want (MaxInt64, nil)", got, err)
+		}
+		// Just inside: 0.5·MaxInt64 floors to 2^62 − 1.
+		got, err = MemCap(0.5, math.MaxInt64)
+		if err != nil || got != 1<<62-1 {
+			t.Errorf("MemCap(0.5, MaxInt64) = (%d, %v), want (2^62-1, nil)", got, err)
+		}
+	})
+	t.Run("denormal-delta", func(t *testing.T) {
+		// 5e-324 · anything representable floors to 0 — exactly.
+		for _, lb := range []model.Mem{0, 1, 1 << 45, math.MaxInt64} {
+			if got, err := MemCap(5e-324, lb); err != nil || got != 0 {
+				t.Errorf("MemCap(5e-324, %d) = (%d, %v), want (0, nil)", lb, got, err)
+			}
+		}
+	})
+	t.Run("mantissa-boundary", func(t *testing.T) {
+		two53 := math.Ldexp(1, 53)
+		cases := []struct {
+			delta float64
+			lb    model.Mem
+			want  model.Mem
+		}{
+			{two53, 1, 1 << 53},
+			{two53 + 2, 1, 1<<53 + 2},
+			{math.Nextafter(two53, 0), 1, 1<<53 - 1},
+			{math.Nextafter(two53, 0), 2, 1<<54 - 2},
+		}
+		for _, tc := range cases {
+			got, err := MemCap(tc.delta, tc.lb)
+			if err != nil || got != tc.want {
+				t.Errorf("MemCap(%g, %d) = (%d, %v), want (%d, nil)", tc.delta, tc.lb, got, err, tc.want)
+			}
+		}
+	})
 }
 
 func TestPropertyMemCapFloorBracket(t *testing.T) {
@@ -46,7 +112,11 @@ func TestPropertyMemCapFloorBracket(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		delta := 2 + rng.Float64()*8
 		lb := model.Mem(rng.Int63n(1 << 45))
-		got := float64(memCapFloor(delta, lb))
+		capM, err := MemCap(delta, lb)
+		if err != nil {
+			return false
+		}
+		got := float64(capM)
 		exact := delta * float64(lb)
 		// Allow float slack commensurate with the magnitude.
 		slack := math.Max(1, exact*1e-12)

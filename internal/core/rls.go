@@ -3,11 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/big"
 	"sort"
 
 	"storagesched/internal/bounds"
 	"storagesched/internal/dag"
+	"storagesched/internal/exact"
 	"storagesched/internal/model"
 )
 
@@ -129,24 +129,17 @@ func checkRLSDelta(delta float64) error {
 
 // MemCap returns the per-processor budget ⌊∆·LB⌋ that RLS∆ enforces,
 // exported for sweep engines that memoize LB per instance and derive
-// each grid point's cap from it. It reports an error for non-finite ∆
-// (which has no exact rational form) instead of panicking.
+// each grid point's cap from it. ∆ is a float64 and hence an exact
+// rational; the floor is evaluated by exact.FloorMul's overflow-checked
+// integer kernel. It reports an error for non-finite ∆ (which has no
+// exact rational form) and a range error when ⌊∆·LB⌋ exceeds int64 —
+// which previously truncated silently through big.Rat → Int64().
 func MemCap(delta float64, lb model.Mem) (model.Mem, error) {
-	if math.IsNaN(delta) || math.IsInf(delta, 0) {
-		return 0, fmt.Errorf("core: memory cap delta = %g is not finite", delta)
+	cap, err := exact.FloorMul(delta, lb)
+	if err != nil {
+		return 0, fmt.Errorf("core: memory cap floor(%g*%d): %w", delta, lb, err)
 	}
-	return memCapFloor(delta, lb), nil
-}
-
-// memCapFloor computes ⌊∆·LB⌋ exactly (∆ is a float64, hence an exact
-// rational; LB can be as large as 2^40 in ε-scaled instances, so the
-// product is evaluated in big rationals rather than floats). Callers
-// must have rejected non-finite ∆ — SetFloat64 returns nil for it.
-func memCapFloor(delta float64, lb model.Mem) model.Mem {
-	r := new(big.Rat).SetFloat64(delta)
-	r.Mul(r, new(big.Rat).SetInt64(int64(lb)))
-	q := new(big.Int).Quo(r.Num(), r.Denom())
-	return q.Int64()
+	return cap, nil
 }
 
 // RLS runs Algorithm 2 (Restricted List Scheduling) on a task DAG with
@@ -163,7 +156,10 @@ func RLS(g *dag.Graph, delta float64, tie TieBreak) (*RLSResult, error) {
 		return nil, err
 	}
 	lb := bounds.MemLB(g.S, g.M)
-	cap := memCapFloor(delta, lb)
+	cap, err := MemCap(delta, lb)
+	if err != nil {
+		return nil, err
+	}
 	res, err := rlsWithCap(g, cap, tie)
 	if err != nil {
 		return nil, err
@@ -266,7 +262,7 @@ func rlsWithCap(g *dag.Graph, cap model.Mem, tie TieBreak) (*RLSResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return rlsRanked(g, rank, predCounts(g), cap)
+	return rlsRanked(g, rank, predCounts(g), cap, nil)
 }
 
 // predCounts returns the per-task predecessor counts that seed the
@@ -281,8 +277,11 @@ func predCounts(g *dag.Graph) []int {
 
 // rlsRanked is the Algorithm 2 loop with a precomputed tie rank and
 // predecessor counts. It never mutates rank or npreds, so prepared
-// sweeps may run it concurrently against shared slices.
-func rlsRanked(g *dag.Graph, rank, npreds []int, cap model.Mem) (*RLSResult, error) {
+// sweeps may run it concurrently against shared slices. scr may be nil;
+// only buffers that escape into the result are freshly allocated.
+func rlsRanked(g *dag.Graph, rank, npreds []int, cap model.Mem, scr *Scratch) (*RLSResult, error) {
+	scr, pooled := borrowScratch(scr)
+	defer releaseScratch(scr, pooled)
 	n := g.N()
 	m := g.M
 
@@ -290,13 +289,13 @@ func rlsRanked(g *dag.Graph, rank, npreds []int, cap model.Mem) (*RLSResult, err
 	copy(sc.P, g.P)
 	copy(sc.S, g.S)
 
-	load := make([]model.Time, m)
-	memsize := make([]model.Mem, m)
-	marked := make([]bool, m)
-	done := make([]bool, n)
-	pendingPreds := make([]int, n)
-	copy(pendingPreds, npreds)
-	readyTime := make([]model.Time, n) // max over preds of completion
+	load := scr.loads(m)
+	memsize := scr.mems(m)
+	marked := make([]bool, m) // escapes via RLSResult.Marked
+	done := scr.doneBuf(n)
+	pendingPreds := scr.predsBuf(npreds)
+	readyTime := scr.readyBuf(n) // max over preds of completion
+	var sumCi model.Time
 
 	const inf = model.Time(math.MaxInt64)
 	for scheduled := 0; scheduled < n; scheduled++ {
@@ -345,6 +344,7 @@ func rlsRanked(g *dag.Graph, rank, npreds []int, cap model.Mem) (*RLSResult, err
 		sc.Start[i] = bestStart
 		load[bestProc] = bestStart + g.P[i]
 		memsize[bestProc] += g.S[i]
+		sumCi += bestStart + g.P[i]
 		done[i] = true
 		for _, w := range g.Succs(i) {
 			pendingPreds[w]--
@@ -354,13 +354,16 @@ func rlsRanked(g *dag.Graph, rank, npreds []int, cap model.Mem) (*RLSResult, err
 		}
 	}
 
+	// The objectives fall out of the loop's own bookkeeping: the final
+	// per-processor loads and memory sizes are exactly what
+	// sc.Cmax()/sc.Mmax() would recompute, and ΣCi accumulated per task.
 	res := &RLSResult{
 		Schedule: sc,
 		Cap:      cap,
 		Marked:   marked,
-		Cmax:     sc.Cmax(),
-		Mmax:     sc.Mmax(),
-		SumCi:    sc.SumCi(),
+		Cmax:     maxTimeOf(load),
+		Mmax:     maxMemOf(memsize),
+		SumCi:    sumCi,
 	}
 	return res, nil
 }
@@ -388,7 +391,10 @@ func RLSIndependent(in *model.Instance, delta float64, tie TieBreak) (*RLSResult
 		return nil, err
 	}
 	lb := bounds.MemLB(in.S(), in.M)
-	cap := memCapFloor(delta, lb)
+	cap, err := MemCap(delta, lb)
+	if err != nil {
+		return nil, err
+	}
 	res, err := rlsIndependentWithCap(in, cap, tie)
 	if err != nil {
 		return nil, err
@@ -419,22 +425,26 @@ func rlsIndependentWithCap(in *model.Instance, cap model.Mem, tie TieBreak) (*RL
 	if err != nil {
 		return nil, err
 	}
-	return rlsIndependentOrdered(in, order, cap)
+	return rlsIndependentOrdered(in, order, cap, nil)
 }
 
 // rlsIndependentOrdered is the Section 5.2 loop with a precomputed
 // scheduling order. It never mutates order, so prepared sweeps may run
-// it concurrently against a shared order slice.
-func rlsIndependentOrdered(in *model.Instance, order []int, cap model.Mem) (*RLSResult, error) {
+// it concurrently against a shared order slice. scr may be nil; only
+// buffers that escape into the result are freshly allocated.
+func rlsIndependentOrdered(in *model.Instance, order []int, cap model.Mem, scr *Scratch) (*RLSResult, error) {
+	scr, pooled := borrowScratch(scr)
+	defer releaseScratch(scr, pooled)
 	n, m := in.N(), in.M
 	sc := model.NewSchedule(m, n)
 	for i, t := range in.Tasks {
 		sc.P[i] = t.P
 		sc.S[i] = t.S
 	}
-	load := make([]model.Time, m)
-	memsize := make([]model.Mem, m)
-	marked := make([]bool, m)
+	load := scr.loads(m)
+	memsize := scr.mems(m)
+	marked := make([]bool, m) // escapes via RLSResult.Marked
+	var sumCi model.Time
 	for _, i := range order {
 		t := in.Tasks[i]
 		proc := -1
@@ -458,14 +468,15 @@ func rlsIndependentOrdered(in *model.Instance, order []int, cap model.Mem) (*RLS
 		sc.Start[i] = load[proc]
 		load[proc] += t.P
 		memsize[proc] += t.S
+		sumCi += load[proc]
 	}
 	return &RLSResult{
 		Schedule: sc,
 		Cap:      cap,
 		Marked:   marked,
-		Cmax:     sc.Cmax(),
-		Mmax:     sc.Mmax(),
-		SumCi:    sc.SumCi(),
+		Cmax:     maxTimeOf(load),
+		Mmax:     maxMemOf(memsize),
+		SumCi:    sumCi,
 	}, nil
 }
 
@@ -510,19 +521,50 @@ func (prep *RLSPrepared) LB() model.Mem { return prep.lb }
 
 // Run executes one RLS∆ evaluation against the prepared state.
 func (prep *RLSPrepared) Run(delta float64, tie TieBreak) (*RLSResult, error) {
+	return prep.RunScratch(delta, tie, nil)
+}
+
+// RunScratch is Run with caller-owned scratch buffers: the sweep
+// engine's workers hold one Scratch each, so a warm sweep allocates
+// only what escapes into the result. A nil scr borrows from the
+// internal pool.
+func (prep *RLSPrepared) RunScratch(delta float64, tie TieBreak, scr *Scratch) (*RLSResult, error) {
 	if err := checkRLSDelta(delta); err != nil {
+		return nil, err
+	}
+	cap, err := MemCap(delta, prep.lb)
+	if err != nil {
 		return nil, err
 	}
 	order, ok := prep.orders[tie]
 	if !ok {
 		return nil, fmt.Errorf("core: tie-break %s not prepared", tie)
 	}
-	res, err := rlsIndependentOrdered(prep.in, order, memCapFloor(delta, prep.lb))
+	res, err := rlsIndependentOrdered(prep.in, order, cap, scr)
 	if err != nil {
 		return nil, err
 	}
 	res.Delta = delta
 	res.LB = prep.lb
+	return res, nil
+}
+
+// RunWithCap executes one evaluation under an explicit per-processor
+// budget against the prepared state; it matches
+// RLSIndependentWithCap(in, cap, tie) bit for bit.
+func (prep *RLSPrepared) RunWithCap(cap model.Mem, tie TieBreak) (*RLSResult, error) {
+	order, ok := prep.orders[tie]
+	if !ok {
+		return nil, fmt.Errorf("core: tie-break %s not prepared", tie)
+	}
+	res, err := rlsIndependentOrdered(prep.in, order, cap, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.LB = prep.lb
+	if prep.lb > 0 {
+		res.Delta = float64(cap) / float64(prep.lb)
+	}
 	return res, nil
 }
 
@@ -581,10 +623,20 @@ func (prep *RLSGraphPrepared) LB() model.Mem { return prep.lb }
 // Run executes one RLS∆ evaluation against the prepared state; it
 // matches RLS(g, delta, tie) bit for bit.
 func (prep *RLSGraphPrepared) Run(delta float64, tie TieBreak) (*RLSResult, error) {
+	return prep.RunScratch(delta, tie, nil)
+}
+
+// RunScratch is Run with caller-owned scratch buffers; a nil scr
+// borrows from the internal pool.
+func (prep *RLSGraphPrepared) RunScratch(delta float64, tie TieBreak, scr *Scratch) (*RLSResult, error) {
 	if err := checkRLSDelta(delta); err != nil {
 		return nil, err
 	}
-	res, err := prep.runRanked(tie, memCapFloor(delta, prep.lb))
+	cap, err := MemCap(delta, prep.lb)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prep.runRanked(tie, cap, scr)
 	if err != nil {
 		return nil, err
 	}
@@ -595,7 +647,7 @@ func (prep *RLSGraphPrepared) Run(delta float64, tie TieBreak) (*RLSResult, erro
 // RunWithCap executes one evaluation under an explicit per-processor
 // budget; it matches RLSWithCap(g, cap, tie) bit for bit.
 func (prep *RLSGraphPrepared) RunWithCap(cap model.Mem, tie TieBreak) (*RLSResult, error) {
-	res, err := prep.runRanked(tie, cap)
+	res, err := prep.runRanked(tie, cap, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -605,12 +657,12 @@ func (prep *RLSGraphPrepared) RunWithCap(cap model.Mem, tie TieBreak) (*RLSResul
 	return res, nil
 }
 
-func (prep *RLSGraphPrepared) runRanked(tie TieBreak, cap model.Mem) (*RLSResult, error) {
+func (prep *RLSGraphPrepared) runRanked(tie TieBreak, cap model.Mem, scr *Scratch) (*RLSResult, error) {
 	rank, ok := prep.ranks[tie]
 	if !ok {
 		return nil, fmt.Errorf("core: tie-break %s not prepared", tie)
 	}
-	res, err := rlsRanked(prep.g, rank, prep.npreds, cap)
+	res, err := rlsRanked(prep.g, rank, prep.npreds, cap, scr)
 	if err != nil {
 		return nil, err
 	}

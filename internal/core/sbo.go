@@ -15,8 +15,8 @@ package core
 
 import (
 	"fmt"
-	"math/big"
 
+	"storagesched/internal/exact"
 	"storagesched/internal/makespan"
 	"storagesched/internal/model"
 )
@@ -114,8 +114,23 @@ func (prep *SBOPrepared) M() model.Mem { return prep.m }
 
 // Run performs the ∆-dependent merge of Algorithm 1.
 func (prep *SBOPrepared) Run(delta float64) (*SBOResult, error) {
+	return prep.RunScratch(delta, nil)
+}
+
+// RunScratch is Run with caller-owned scratch buffers for the
+// objective evaluation: the sweep engine's workers hold one Scratch
+// each, so a warm sweep allocates only the result itself. A nil scr
+// borrows from the internal pool.
+func (prep *SBOPrepared) RunScratch(delta float64, scr *Scratch) (*SBOResult, error) {
 	if delta <= 0 {
 		return nil, fmt.Errorf("core: SBO delta = %g, need delta > 0", delta)
+	}
+	// co holds ∆'s exact mantissa/exponent form; every finite float64
+	// is a rational, and non-finite ∆ (NaN passes the sign check) has
+	// no rational form at all.
+	co, err := exact.NewCoeff(delta)
+	if err != nil {
+		return nil, fmt.Errorf("core: SBO delta = %g is not finite", delta)
 	}
 	in := prep.in
 	res := &SBOResult{
@@ -126,14 +141,6 @@ func (prep *SBOPrepared) Run(delta float64) (*SBOResult, error) {
 		M:               prep.m,
 	}
 
-	// deltaRat is exact: every float64 is a rational.
-	deltaRat := new(big.Rat).SetFloat64(delta)
-	if deltaRat == nil {
-		return nil, fmt.Errorf("core: SBO delta = %g is not finite", delta)
-	}
-	lhs := new(big.Rat)
-	rhs := new(big.Rat)
-	tmp := new(big.Rat)
 	for i := range in.Tasks {
 		useMem := false
 		if prep.m == 0 {
@@ -141,15 +148,11 @@ func (prep *SBOPrepared) Run(delta float64) (*SBOResult, error) {
 			// needs no help, keep every task on the time schedule.
 			useMem = false
 		} else {
-			// p_i/C < ∆·s_i/M  ⇔  p_i·M < ∆·s_i·C (C, M > 0).
-			lhs.SetInt64(prep.p[i])
-			tmp.SetInt64(int64(prep.m))
-			lhs.Mul(lhs, tmp)
-			rhs.SetInt64(int64(prep.s[i]))
-			tmp.SetInt64(prep.c)
-			rhs.Mul(rhs, tmp)
-			rhs.Mul(rhs, deltaRat)
-			useMem = lhs.Cmp(rhs) < 0
+			// p_i/C < ∆·s_i/M  ⇔  p_i·M < ∆·s_i·C (C, M > 0),
+			// evaluated on the exact integer kernel so huge instances
+			// (ε-scaled hardness values reach 2^40) never suffer float
+			// rounding — and the per-task big.Rat allocations are gone.
+			useMem = co.MulCmp(prep.p[i], int64(prep.m), int64(prep.s[i]), prep.c) < 0
 		}
 		if useMem {
 			res.Assignment[i] = prep.pi2[i]
@@ -158,9 +161,23 @@ func (prep *SBOPrepared) Run(delta float64) (*SBOResult, error) {
 		}
 		res.FromMemSchedule[i] = useMem
 	}
-	res.Cmax = in.Cmax(res.Assignment)
-	res.Mmax = in.Mmax(res.Assignment)
+	res.Cmax, res.Mmax = evalAssignment(in, res.Assignment, scr)
 	return res, nil
+}
+
+// evalAssignment computes (Cmax, Mmax) of an assignment in one pass
+// over the tasks, against scratch-backed per-processor accumulators —
+// equivalent to in.Cmax(a) and in.Mmax(a) without their allocations.
+func evalAssignment(in *model.Instance, a model.Assignment, scr *Scratch) (model.Time, model.Mem) {
+	scr, pooled := borrowScratch(scr)
+	defer releaseScratch(scr, pooled)
+	loads := scr.loads(in.M)
+	mems := scr.mems(in.M)
+	for i, t := range in.Tasks {
+		loads[a[i]] += t.P
+		mems[a[i]] += t.S
+	}
+	return maxTimeOf(loads), maxMemOf(mems)
 }
 
 // SBOWithLS runs SBO∆ with Graham list scheduling on both objectives —

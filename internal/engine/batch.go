@@ -224,14 +224,15 @@ func (st *batchState) prepare() {
 }
 
 // executeJob runs one job of this item against the memoized prepared
-// state, dispatching on the item kind.
-func (st *batchState) executeJob(idx int) Run {
+// state, dispatching on the item kind. scr is the worker's reusable
+// scratch, shared across every job the worker executes.
+func (st *batchState) executeJob(idx int, scr *core.Scratch) Run {
 	j := st.jobs[idx]
 	if st.g == nil {
-		return execute(j, st.prepSBO, st.prepRLS)
+		return execute(j, st.prepSBO, st.prepRLS, scr)
 	}
 	run := Run{Algorithm: j.alg, Tie: j.tie, Delta: j.delta}
-	res, err := st.prepGraph.Run(j.delta, j.tie)
+	res, err := st.prepGraph.RunScratch(j.delta, j.tie, scr)
 	if err != nil {
 		run.Err = err
 		return run
@@ -364,6 +365,10 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker: the solver loops' per-processor
+			// and ready-set buffers are reused across every job this
+			// worker runs, so a warm batch allocates only results.
+			scr := core.NewScratch()
 			for bj := range jobCh {
 				st := bj.st
 				select {
@@ -374,7 +379,7 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 				default:
 					st.prepOnce.Do(st.prepare)
 					if st.err == nil {
-						st.runs[bj.idx] = st.executeJob(bj.idx)
+						st.runs[bj.idx] = st.executeJob(bj.idx, scr)
 					}
 					if testHookAfterRun != nil {
 						testHookAfterRun()

@@ -314,12 +314,14 @@ func hasRLS(jobs []job) bool {
 	return false
 }
 
-// execute runs one job against the memoized per-instance state.
-func execute(j job, prepSBO *core.SBOPrepared, prepRLS *core.RLSPrepared) Run {
+// execute runs one job against the memoized per-instance state. scr is
+// the calling worker's scratch (nil falls back to the solvers' pool);
+// passing it through keeps a warm sweep at O(1) allocations per job.
+func execute(j job, prepSBO *core.SBOPrepared, prepRLS *core.RLSPrepared, scr *core.Scratch) Run {
 	run := Run{Algorithm: j.alg, Tie: j.tie, Delta: j.delta}
 	switch j.alg {
 	case AlgSBO:
-		res, err := prepSBO.Run(j.delta)
+		res, err := prepSBO.RunScratch(j.delta, scr)
 		if err != nil {
 			run.Err = err
 			return run
@@ -328,7 +330,7 @@ func execute(j job, prepSBO *core.SBOPrepared, prepRLS *core.RLSPrepared) Run {
 		run.Value = model.Value{Cmax: res.Cmax, Mmax: res.Mmax}
 		run.Assignment = res.Assignment
 	case AlgRLS:
-		res, err := prepRLS.Run(j.delta, j.tie)
+		res, err := prepRLS.RunScratch(j.delta, j.tie, scr)
 		if err != nil {
 			run.Err = err
 			return run

@@ -1,0 +1,328 @@
+// Package exact implements the exact arithmetic the paper's algorithms
+// reduce to — rational threshold comparisons (Algorithm 1's
+// p_i·M < ∆·s_i·C and its uniform-machine variant) and exact floors
+// (Algorithm 2's ⌊∆·LB⌋) — on an overflow-checked int64/uint128 fast
+// path that falls back to big.Rat only when a 128-bit product would
+// overflow.
+//
+// The trick is classical: a float64 coefficient ∆ is an exact rational
+// mant·2^exp with mant < 2^53 (IEEE-754), so both sides of every
+// comparison are integers after scaling by a power of two, and
+// Graham-style list scheduling needs nothing beyond integer compares.
+// Products of two int64 always fit in 128 bits; three-factor products
+// and the mantissa scaling are overflow-checked, and only an overflow
+// routes through big.Rat — so the heap-allocating rationals are off the
+// per-task hot path entirely while every result stays bit-exact
+// (differential tests in this package pin fast path ≡ big.Rat on every
+// operand class).
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// ErrNonFinite reports a NaN or ±Inf coefficient, which has no exact
+// rational form.
+var ErrNonFinite = errors.New("exact: coefficient is not finite")
+
+// ErrRange reports a result that does not fit in int64.
+var ErrRange = errors.New("exact: result out of int64 range")
+
+// u128 is an unsigned 128-bit accumulator for magnitude products.
+type u128 struct{ hi, lo uint64 }
+
+func mul64(a, b uint64) u128 {
+	hi, lo := bits.Mul64(a, b)
+	return u128{hi, lo}
+}
+
+func (x u128) isZero() bool { return x.hi == 0 && x.lo == 0 }
+
+func (x u128) cmp(y u128) int {
+	switch {
+	case x.hi != y.hi:
+		if x.hi < y.hi {
+			return -1
+		}
+		return 1
+	case x.lo != y.lo:
+		if x.lo < y.lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// mulCheck multiplies by a 64-bit factor, reporting whether the product
+// still fits in 128 bits.
+func (x u128) mulCheck(m uint64) (u128, bool) {
+	hh, hl := bits.Mul64(x.hi, m)
+	if hh != 0 {
+		return u128{}, false
+	}
+	lh, ll := bits.Mul64(x.lo, m)
+	hi, carry := bits.Add64(lh, hl, 0)
+	if carry != 0 {
+		return u128{}, false
+	}
+	return u128{hi, ll}, true
+}
+
+// shl shifts left by k, reporting false when a set bit would be lost.
+func (x u128) shl(k uint) (u128, bool) {
+	switch {
+	case k == 0:
+		return x, true
+	case k >= 128:
+		return u128{}, x.isZero()
+	case k >= 64:
+		if x.hi != 0 || x.lo>>(128-k) != 0 {
+			return u128{}, false
+		}
+		return u128{hi: x.lo << (k - 64)}, true
+	default:
+		if x.hi>>(64-k) != 0 {
+			return u128{}, false
+		}
+		return u128{hi: x.hi<<k | x.lo>>(64-k), lo: x.lo << k}, true
+	}
+}
+
+// shr shifts right by k, also reporting whether any dropped bit was set
+// (the inexactness flag floor rounding of negative values needs).
+func (x u128) shr(k uint) (u128, bool) {
+	switch {
+	case k == 0:
+		return x, false
+	case k >= 128:
+		return u128{}, !x.isZero()
+	case k >= 64:
+		dropped := x.lo != 0 || x.hi<<(128-k) != 0
+		return u128{lo: x.hi >> (k - 64)}, dropped
+	default:
+		dropped := x.lo<<(64-k) != 0
+		return u128{hi: x.hi >> k, lo: x.hi<<(64-k) | x.lo>>k}, dropped
+	}
+}
+
+// abs64 returns |v| as a uint64; MinInt64 maps to 2^63, which a uint64
+// represents exactly.
+func abs64(v int64) uint64 {
+	if v < 0 {
+		return uint64(-v)
+	}
+	return uint64(v)
+}
+
+func sign64(v int64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// MulCmp returns the sign of a·b − c·d, evaluated exactly. Two-factor
+// int64 products always fit in 128 bits, so this kernel has no fallback
+// and never allocates.
+func MulCmp(a, b, c, d int64) int {
+	sab := sign64(a) * sign64(b)
+	scd := sign64(c) * sign64(d)
+	if sab != scd {
+		if sab > scd {
+			return 1
+		}
+		return -1
+	}
+	if sab == 0 {
+		return 0
+	}
+	mab := mul64(abs64(a), abs64(b))
+	mcd := mul64(abs64(c), abs64(d))
+	if sab > 0 {
+		return mab.cmp(mcd)
+	}
+	return mcd.cmp(mab)
+}
+
+// Coeff is a finite float64 coefficient ∆ decomposed once into sign,
+// integer mantissa and binary exponent: |∆| = mant·2^exp with
+// mant < 2^53. Every finite float64 — normal, denormal or zero — has
+// this exact form, so a sweep decomposes its δ once and pays only
+// integer work per task.
+type Coeff struct {
+	mant uint64
+	exp  int
+	neg  bool
+	f    float64 // original value, for the big.Rat fallback
+}
+
+// NewCoeff decomposes delta. It reports ErrNonFinite for NaN and ±Inf.
+func NewCoeff(delta float64) (Coeff, error) {
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return Coeff{}, fmt.Errorf("%w: %g", ErrNonFinite, delta)
+	}
+	frac, exp := math.Frexp(math.Abs(delta))
+	// frac ∈ [1/2, 1) has at most 53 significand bits, so frac·2^53 is
+	// an exact integer < 2^53 (0 for delta = 0).
+	return Coeff{
+		mant: uint64(math.Ldexp(frac, 53)),
+		exp:  exp - 53,
+		neg:  math.Signbit(delta),
+		f:    delta,
+	}, nil
+}
+
+// Float returns the coefficient's original float64 value.
+func (c Coeff) Float() float64 { return c.f }
+
+func (c Coeff) sign() int {
+	switch {
+	case c.mant == 0:
+		return 0
+	case c.neg:
+		return -1
+	}
+	return 1
+}
+
+// FloorMul returns ⌊∆·n⌋ exactly. The product mant·|n| is at most
+// 2^53·2^63 = 2^116, so the computation never leaves 128 bits; only a
+// result outside int64 reports ErrRange.
+func (c Coeff) FloorMul(n int64) (int64, error) {
+	neg := (c.sign() < 0) != (n < 0)
+	mag := mul64(c.mant, abs64(n))
+	if mag.isZero() {
+		return 0, nil
+	}
+	var q u128
+	var inexact bool
+	if c.exp >= 0 {
+		shifted, ok := mag.shl(uint(c.exp))
+		if !ok {
+			return 0, fmt.Errorf("%w: floor(%g * %d)", ErrRange, c.f, n)
+		}
+		q = shifted
+	} else {
+		q, inexact = mag.shr(uint(-c.exp))
+	}
+	// Floor of a negative value with dropped bits rounds away from zero.
+	if neg && inexact {
+		lo, carry := bits.Add64(q.lo, 1, 0)
+		q = u128{hi: q.hi + carry, lo: lo}
+	}
+	if q.hi != 0 {
+		return 0, fmt.Errorf("%w: floor(%g * %d)", ErrRange, c.f, n)
+	}
+	if neg {
+		if q.lo > 1<<63 {
+			return 0, fmt.Errorf("%w: floor(%g * %d)", ErrRange, c.f, n)
+		}
+		if q.lo == 1<<63 {
+			return math.MinInt64, nil
+		}
+		return -int64(q.lo), nil
+	}
+	if q.lo > math.MaxInt64 {
+		return 0, fmt.Errorf("%w: floor(%g * %d)", ErrRange, c.f, n)
+	}
+	return int64(q.lo), nil
+}
+
+// MulCmp returns the sign of a·b − ∆·x·y — the Algorithm 1 threshold
+// test p_i·M ⋚ ∆·s_i·C in kernel form.
+func (c Coeff) MulCmp(a, b, x, y int64) int {
+	return c.MulCmp3(a, b, 1, x, y, 1)
+}
+
+// MulCmp3 returns the sign of a1·a2·a3 − ∆·b1·b2·b3 — the ratio-aware
+// form the uniform-machine threshold p_i·C.Den·M ⋚ ∆·s_i·C.Num·qmin
+// needs when the makespan C is itself a rational Num/Den. The fast path
+// covers every operand set whose magnitude products (including the
+// mantissa scaling) fit in 128 bits; anything larger falls back to
+// big.Rat, with an identical result.
+func (c Coeff) MulCmp3(a1, a2, a3, b1, b2, b3 int64) int {
+	sa := sign64(a1) * sign64(a2) * sign64(a3)
+	sb := c.sign() * sign64(b1) * sign64(b2) * sign64(b3)
+	if sa != sb {
+		if sa > sb {
+			return 1
+		}
+		return -1
+	}
+	if sa == 0 {
+		return 0
+	}
+	la, oka := mul64(abs64(a1), abs64(a2)).mulCheck(abs64(a3))
+	if oka {
+		if rb, ok := mul64(abs64(b1), abs64(b2)).mulCheck(abs64(b3)); ok {
+			if r, ok := rb.mulCheck(c.mant); ok {
+				cc := cmpShift(la, r, c.exp)
+				if sa < 0 {
+					return -cc
+				}
+				return cc
+			}
+		}
+	}
+	return c.cmpBig3(a1, a2, a3, b1, b2, b3)
+}
+
+// cmpShift compares x against y·2^e exactly; a shift that would exceed
+// 128 bits decides the comparison outright (both operands are nonzero
+// here, so the shifted side is strictly larger).
+func cmpShift(x, y u128, e int) int {
+	if e >= 0 {
+		ys, ok := y.shl(uint(e))
+		if !ok {
+			return -1
+		}
+		return x.cmp(ys)
+	}
+	xs, ok := x.shl(uint(-e))
+	if !ok {
+		return 1
+	}
+	return xs.cmp(y)
+}
+
+// cmpBig3 is the big.Rat fallback of MulCmp3, reached only when a
+// 128-bit magnitude product overflows.
+func (c Coeff) cmpBig3(a1, a2, a3, b1, b2, b3 int64) int {
+	lhs := new(big.Rat).SetInt64(a1)
+	lhs.Mul(lhs, new(big.Rat).SetInt64(a2))
+	lhs.Mul(lhs, new(big.Rat).SetInt64(a3))
+	rhs := new(big.Rat).SetFloat64(c.f) // finite by construction
+	rhs.Mul(rhs, new(big.Rat).SetInt64(b1))
+	rhs.Mul(rhs, new(big.Rat).SetInt64(b2))
+	rhs.Mul(rhs, new(big.Rat).SetInt64(b3))
+	return lhs.Cmp(rhs)
+}
+
+// MulCmpF is the one-shot form of Coeff.MulCmp: the sign of
+// a·b − delta·x·y, or ErrNonFinite.
+func MulCmpF(a, b int64, delta float64, x, y int64) (int, error) {
+	c, err := NewCoeff(delta)
+	if err != nil {
+		return 0, err
+	}
+	return c.MulCmp(a, b, x, y), nil
+}
+
+// FloorMul is the one-shot form of Coeff.FloorMul: ⌊delta·n⌋ exactly,
+// ErrNonFinite for non-finite delta, ErrRange when the floor does not
+// fit in int64.
+func FloorMul(delta float64, n int64) (int64, error) {
+	c, err := NewCoeff(delta)
+	if err != nil {
+		return 0, err
+	}
+	return c.FloorMul(n)
+}

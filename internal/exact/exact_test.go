@@ -1,0 +1,263 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// ratMulCmp is the big-integer reference for MulCmp.
+func ratMulCmp(a, b, c, d int64) int {
+	lhs := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+	rhs := new(big.Int).Mul(big.NewInt(c), big.NewInt(d))
+	return lhs.Cmp(rhs)
+}
+
+// ratMulCmp3 is the big.Rat reference for Coeff.MulCmp3.
+func ratMulCmp3(a1, a2, a3 int64, delta float64, b1, b2, b3 int64) int {
+	lhs := new(big.Rat).SetInt64(a1)
+	lhs.Mul(lhs, new(big.Rat).SetInt64(a2))
+	lhs.Mul(lhs, new(big.Rat).SetInt64(a3))
+	rhs := new(big.Rat).SetFloat64(delta)
+	rhs.Mul(rhs, new(big.Rat).SetInt64(b1))
+	rhs.Mul(rhs, new(big.Rat).SetInt64(b2))
+	rhs.Mul(rhs, new(big.Rat).SetInt64(b3))
+	return lhs.Cmp(rhs)
+}
+
+// ratFloorMul is the big.Rat reference for FloorMul: the exact floor
+// and whether it fits in int64. big.Int.Div floors because a big.Rat
+// denominator is always positive.
+func ratFloorMul(delta float64, n int64) (int64, bool) {
+	r := new(big.Rat).SetFloat64(delta)
+	r.Mul(r, new(big.Rat).SetInt64(n))
+	floor := new(big.Int).Div(r.Num(), r.Denom())
+	if !floor.IsInt64() {
+		return 0, false
+	}
+	return floor.Int64(), true
+}
+
+// operand classes that exercise every fast-path branch: zeros, small
+// values, values straddling 2^32 (the Mul64 split), 2^53 (the mantissa
+// width) and the int64 extremes.
+var int64Operands = []int64{
+	0, 1, -1, 2, 3, 7, -5,
+	1000, 1 << 20, 123456789,
+	1<<31 - 1, 1 << 31, 1<<32 + 1,
+	1<<53 - 1, 1 << 53, 1<<53 + 1,
+	1 << 62, 1<<62 + 12345,
+	math.MaxInt64, math.MaxInt64 - 1, math.MinInt64, math.MinInt64 + 1,
+}
+
+// float64 coefficients covering exact, inexact, denormal, huge and
+// negative cases plus the 2^53 mantissa boundary.
+var deltaOperands = []float64{
+	0, 1, 2, 0.5, 2.5, 3.0,
+	1.0 / 3.0, 0.1, 8.25,
+	math.Ldexp(1, 53), math.Ldexp(1, 53) + 2, math.Nextafter(math.Ldexp(1, 53), 0),
+	5e-324, 1e-300, math.SmallestNonzeroFloat64,
+	1e300, math.MaxFloat64,
+	-1, -2.5, -1.0 / 3.0, -5e-324, -math.MaxFloat64,
+	math.Copysign(0, -1),
+}
+
+func TestMulCmpDifferential(t *testing.T) {
+	for _, a := range int64Operands {
+		for _, b := range int64Operands {
+			for _, c := range int64Operands {
+				for _, d := range int64Operands {
+					if got, want := MulCmp(a, b, c, d), ratMulCmp(a, b, c, d); got != want {
+						t.Fatalf("MulCmp(%d,%d,%d,%d) = %d, want %d", a, b, c, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMulCmp3Differential(t *testing.T) {
+	// The full cross product is too large; sweep each axis against a
+	// fixed core of mixed-magnitude values.
+	core := []int64{0, 3, -5, 1<<31 + 7, 1<<53 + 1, math.MaxInt64, math.MinInt64}
+	for _, delta := range deltaOperands {
+		co, err := NewCoeff(delta)
+		if err != nil {
+			t.Fatalf("NewCoeff(%g): %v", delta, err)
+		}
+		for _, a1 := range int64Operands {
+			for _, a2 := range core {
+				for _, b1 := range core {
+					got := co.MulCmp3(a1, a2, 9, b1, a2, 11)
+					want := ratMulCmp3(a1, a2, 9, delta, b1, a2, 11)
+					if got != want {
+						t.Fatalf("MulCmp3(%d,%d,9; δ=%g; %d,%d,11) = %d, want %d",
+							a1, a2, delta, b1, a2, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMulCmpTwoFactorForm(t *testing.T) {
+	for _, delta := range deltaOperands {
+		co, err := NewCoeff(delta)
+		if err != nil {
+			t.Fatalf("NewCoeff(%g): %v", delta, err)
+		}
+		for _, a := range int64Operands {
+			for _, x := range int64Operands {
+				got := co.MulCmp(a, 7, x, 13)
+				want := ratMulCmp3(a, 7, 1, delta, x, 13, 1)
+				if got != want {
+					t.Fatalf("Coeff(%g).MulCmp(%d,7,%d,13) = %d, want %d", delta, a, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFloorMulDifferential(t *testing.T) {
+	for _, delta := range deltaOperands {
+		for _, n := range int64Operands {
+			want, fits := ratFloorMul(delta, n)
+			got, err := FloorMul(delta, n)
+			if !fits {
+				if !errors.Is(err, ErrRange) {
+					t.Fatalf("FloorMul(%g, %d) = (%d, %v), want ErrRange", delta, n, got, err)
+				}
+				continue
+			}
+			if err != nil || got != want {
+				t.Fatalf("FloorMul(%g, %d) = (%d, %v), want (%d, nil)", delta, n, got, err, want)
+			}
+		}
+	}
+}
+
+func TestNonFinite(t *testing.T) {
+	for _, delta := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		if _, err := NewCoeff(delta); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("NewCoeff(%g): err = %v, want ErrNonFinite", delta, err)
+		}
+		if _, err := FloorMul(delta, 10); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("FloorMul(%g, 10): err = %v, want ErrNonFinite", delta, err)
+		}
+		if _, err := MulCmpF(1, 2, delta, 3, 4); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("MulCmpF(δ=%g): err = %v, want ErrNonFinite", delta, err)
+		}
+	}
+}
+
+func TestCoeffDecompositionRoundTrip(t *testing.T) {
+	// mant·2^exp must reconstruct the coefficient exactly for every
+	// finite float64, including denormals.
+	for _, delta := range deltaOperands {
+		co, err := NewCoeff(delta)
+		if err != nil {
+			t.Fatalf("NewCoeff(%g): %v", delta, err)
+		}
+		back := math.Ldexp(float64(co.mant), co.exp)
+		if co.neg {
+			back = -back
+		}
+		if back != delta && !(delta == 0 && back == 0) {
+			t.Errorf("Coeff(%g) reconstructs to %g", delta, back)
+		}
+		if co.mant >= 1<<53 {
+			t.Errorf("Coeff(%g) mantissa %d >= 2^53", delta, co.mant)
+		}
+	}
+}
+
+// TestPropertyRandomizedDifferential drives all three kernels with a
+// mix of random magnitudes (uniform bit-lengths, so small and huge
+// operands are equally likely) against the big.Rat reference.
+func TestPropertyRandomizedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	randInt64 := func() int64 {
+		v := int64(rng.Uint64() >> uint(rng.Intn(64)))
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		return v
+	}
+	randDelta := func() float64 {
+		switch rng.Intn(4) {
+		case 0:
+			return float64(rng.Intn(16)) + rng.Float64()
+		case 1:
+			return math.Ldexp(rng.Float64(), rng.Intn(1200)-600)
+		case 2:
+			return -math.Ldexp(rng.Float64(), rng.Intn(1200)-600)
+		default:
+			return deltaOperands[rng.Intn(len(deltaOperands))]
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		a, b, c, d := randInt64(), randInt64(), randInt64(), randInt64()
+		if got, want := MulCmp(a, b, c, d), ratMulCmp(a, b, c, d); got != want {
+			t.Fatalf("MulCmp(%d,%d,%d,%d) = %d, want %d", a, b, c, d, got, want)
+		}
+		delta := randDelta()
+		co, err := NewCoeff(delta)
+		if err != nil {
+			t.Fatalf("NewCoeff(%g): %v", delta, err)
+		}
+		e, f := randInt64(), randInt64()
+		if got, want := co.MulCmp3(a, b, c, d, e, f), ratMulCmp3(a, b, c, delta, d, e, f); got != want {
+			t.Fatalf("MulCmp3(%d,%d,%d; δ=%g; %d,%d,%d) = %d, want %d", a, b, c, delta, d, e, f, got, want)
+		}
+		want, fits := ratFloorMul(delta, a)
+		got, err := co.FloorMul(a)
+		if !fits {
+			if !errors.Is(err, ErrRange) {
+				t.Fatalf("FloorMul(%g, %d) = (%d, %v), want ErrRange", delta, a, got, err)
+			}
+		} else if err != nil || got != want {
+			t.Fatalf("FloorMul(%g, %d) = (%d, %v), want (%d, nil)", delta, a, got, err, want)
+		}
+	}
+}
+
+func BenchmarkMulCmp(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulCmp(int64(i)|1, 123456789, 987654321, int64(i)|3)
+	}
+}
+
+func BenchmarkCoeffMulCmp(b *testing.B) {
+	co, err := NewCoeff(2.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		co.MulCmp(int64(i)|1, 123456789, 987654321, int64(i)|3)
+	}
+}
+
+func BenchmarkCoeffFloorMul(b *testing.B) {
+	co, err := NewCoeff(2.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := co.FloorMul(int64(i) | 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRatMulCmp(b *testing.B) {
+	// The big.Rat path the fast kernels replace, for the speedup ratio.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ratMulCmp3(int64(i)|1, 123456789, 1, 2.5, 987654321, int64(i)|3, 1)
+	}
+}

@@ -1,0 +1,51 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzExactCmp differentially fuzzes every exact kernel against its
+// big.Rat reference: MulCmp on four int64 operands, Coeff.MulCmp3 with
+// the fuzzed coefficient, and FloorMul including its ErrRange contract.
+// It runs in the CI fuzz-smoke job alongside the JSON reader fuzzers.
+func FuzzExactCmp(f *testing.F) {
+	f.Add(int64(3), int64(5), int64(7), int64(11), 2.5, int64(13))
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64), int64(math.MinInt64), int64(1), 1.0/3.0, int64(math.MaxInt64))
+	f.Add(int64(1<<53), int64(1<<53+1), int64(-1), int64(0), 5e-324, int64(1<<62))
+	f.Add(int64(0), int64(0), int64(0), int64(0), math.MaxFloat64, int64(math.MinInt64))
+	f.Add(int64(1), int64(-1), int64(1), int64(-1), -math.Ldexp(1, 53), int64(-1))
+	f.Fuzz(func(t *testing.T, a, b, c, d int64, delta float64, n int64) {
+		if got, want := MulCmp(a, b, c, d), ratMulCmp(a, b, c, d); got != want {
+			t.Fatalf("MulCmp(%d,%d,%d,%d) = %d, want %d", a, b, c, d, got, want)
+		}
+		co, err := NewCoeff(delta)
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			if !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("NewCoeff(%g): err = %v, want ErrNonFinite", delta, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("NewCoeff(%g): %v", delta, err)
+		}
+		if got, want := co.MulCmp3(a, b, n, c, d, n), ratMulCmp3(a, b, n, delta, c, d, n); got != want {
+			t.Fatalf("MulCmp3(%d,%d,%d; δ=%g; %d,%d,%d) = %d, want %d", a, b, n, delta, c, d, n, got, want)
+		}
+		if got, want := co.MulCmp(a, b, c, d), ratMulCmp3(a, b, 1, delta, c, d, 1); got != want {
+			t.Fatalf("Coeff(%g).MulCmp(%d,%d,%d,%d) = %d, want %d", delta, a, b, c, d, got, want)
+		}
+		want, fits := ratFloorMul(delta, n)
+		got, err := co.FloorMul(n)
+		if !fits {
+			if !errors.Is(err, ErrRange) {
+				t.Fatalf("FloorMul(%g, %d) = (%d, %v), want ErrRange", delta, n, got, err)
+			}
+			return
+		}
+		if err != nil || got != want {
+			t.Fatalf("FloorMul(%g, %d) = (%d, %v), want (%d, nil)", delta, n, got, err, want)
+		}
+	})
+}

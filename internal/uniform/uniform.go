@@ -25,10 +25,10 @@ package uniform
 import (
 	"fmt"
 	"math"
-	"math/big"
 	"sort"
 
 	"storagesched/internal/bounds"
+	"storagesched/internal/exact"
 	"storagesched/internal/model"
 )
 
@@ -82,11 +82,13 @@ type Rat struct {
 // Float converts for reporting.
 func (r Rat) Float() float64 { return float64(r.Num) / float64(r.Den) }
 
-// Less compares two rational times exactly.
-func (r Rat) Less(o Rat) bool { return r.Num*o.Den < o.Num*r.Den }
+// Less compares two rational times exactly. The cross products go
+// through the 128-bit kernel, so loads near int64 range (total work up
+// to 2^62 times speeds up to 2^20) cannot overflow the comparison.
+func (r Rat) Less(o Rat) bool { return exact.MulCmp(r.Num, o.Den, o.Num, r.Den) < 0 }
 
 // LessEq is the non-strict comparison.
-func (r Rat) LessEq(o Rat) bool { return r.Num*o.Den <= o.Num*r.Den }
+func (r Rat) LessEq(o Rat) bool { return exact.MulCmp(r.Num, o.Den, o.Num, r.Den) <= 0 }
 
 // Cmax returns the exact rational makespan of assignment a for work
 // vector p on machines with the given speeds.
@@ -246,32 +248,20 @@ func sboUniform(in *model.Instance, p []model.Time, s []model.Mem, q Speeds, del
 		SpeedSpread:     q.Spread(),
 	}
 	qmin := q.Min()
-	// SetFloat64 returns nil for non-finite input; a NaN ∆ passes the
-	// callers' sign checks, so reject it here before the nil deref.
-	deltaRat := new(big.Rat).SetFloat64(delta)
-	if deltaRat == nil {
+	// A NaN ∆ passes the callers' sign checks; NewCoeff rejects it (and
+	// ±Inf) before the threshold loop can misbehave.
+	co, err := exact.NewCoeff(delta)
+	if err != nil {
 		return nil, fmt.Errorf("uniform: SBO delta = %g is not finite", delta)
 	}
-	lhs := new(big.Rat)
-	rhs := new(big.Rat)
-	tmp := new(big.Rat)
 	for i := range p {
 		useMem := false
 		if mVal > 0 {
 			// p_i/(C·qmin) < ∆·s_i/M
-			// ⇔ p_i·C.Den·M < ∆·s_i·C.Num·qmin  (C = Num/Den).
-			lhs.SetInt64(p[i])
-			tmp.SetInt64(c.Den)
-			lhs.Mul(lhs, tmp)
-			tmp.SetInt64(int64(mVal))
-			lhs.Mul(lhs, tmp)
-			rhs.SetInt64(int64(s[i]))
-			tmp.SetInt64(c.Num)
-			rhs.Mul(rhs, tmp)
-			tmp.SetInt64(qmin)
-			rhs.Mul(rhs, tmp)
-			rhs.Mul(rhs, deltaRat)
-			useMem = lhs.Cmp(rhs) < 0
+			// ⇔ p_i·C.Den·M < ∆·s_i·C.Num·qmin  (C = Num/Den),
+			// three integer factors per side against the ∆ coefficient —
+			// the exact kernel's MulCmp3 form, no rationals allocated.
+			useMem = co.MulCmp3(p[i], c.Den, int64(mVal), int64(s[i]), c.Num, qmin) < 0
 		}
 		if useMem {
 			res.Assignment[i] = pi2[i]
@@ -338,7 +328,7 @@ func RLSUniform(in *model.Instance, q Speeds, delta float64) (*RLSUniformResult,
 	}
 	if math.IsNaN(delta) || math.IsInf(delta, 0) {
 		// +Inf passes the < 2 check and NaN fails every comparison;
-		// both make SetFloat64 below return nil and then panic.
+		// reject both before the cap computation.
 		return nil, fmt.Errorf("uniform: RLS delta = %g is not finite", delta)
 	}
 	if delta < 2 {
@@ -347,9 +337,10 @@ func RLSUniform(in *model.Instance, q Speeds, delta float64) (*RLSUniformResult,
 	p := in.P()
 	s := in.S()
 	lb := bounds.MemLB(s, in.M)
-	capR := new(big.Rat).SetFloat64(delta)
-	capR.Mul(capR, new(big.Rat).SetInt64(int64(lb)))
-	cap := new(big.Int).Quo(capR.Num(), capR.Denom()).Int64()
+	cap, err := exact.FloorMul(delta, int64(lb))
+	if err != nil {
+		return nil, fmt.Errorf("uniform: RLS cap floor(%g*%d): %w", delta, lb, err)
+	}
 
 	order := make([]int, in.N())
 	for i := range order {

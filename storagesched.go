@@ -189,6 +189,17 @@ func SBOWithPTAS(in *Instance, delta, eps float64) (*SBOResult, error) {
 // SBORatio returns ((1+∆)ρ1, (1+1/∆)ρ2), the Properties 1–2 pair.
 func SBORatio(delta, rho1, rho2 float64) (float64, float64) { return core.SBORatio(delta, rho1, rho2) }
 
+// SBOPrepared memoizes the ∆-independent half of Algorithm 1 (the two
+// sub-schedules π1/π2 and their objective values); Run and Constrained
+// evaluate against it without re-running the sub-algorithms.
+type SBOPrepared = core.SBOPrepared
+
+// PrepareSBO validates the instance and runs the two sub-algorithms
+// once, for repeated SBO evaluations over a ∆- or budget-sweep.
+func PrepareSBO(in *Instance, algC, algM MakespanAlgorithm) (*SBOPrepared, error) {
+	return core.PrepareSBO(in, algC, algM)
+}
+
 // RLS results, orders and runners (Algorithm 2).
 type (
 	// RLSResult is one RLS∆ run with its analysis bookkeeping.
@@ -226,6 +237,18 @@ func RLSIndependent(in *Instance, delta float64, tie TieBreak) (*RLSResult, erro
 	return core.RLSIndependent(in, delta, tie)
 }
 
+// RLSPrepared memoizes the ∆-independent work of RLSIndependent
+// (validation, the memory lower bound, the tie-break orders); Run,
+// RunWithCap and Constrained evaluate against it per grid point.
+type RLSPrepared = core.RLSPrepared
+
+// PrepareRLSIndependent validates the instance and precomputes the
+// scheduling orders for the given tie-breaks (all four when none are
+// given) for repeated independent-task RLS evaluations.
+func PrepareRLSIndependent(in *Instance, ties ...TieBreak) (*RLSPrepared, error) {
+	return core.PrepareRLSIndependent(in, ties...)
+}
+
 // RLSCmaxRatio returns the Lemma 5 makespan guarantee for ∆ > 2.
 func RLSCmaxRatio(delta float64, m int) float64 { return core.RLSCmaxRatio(delta, m) }
 
@@ -251,9 +274,22 @@ func ConstrainedDAG(g *Graph, budget Mem, tie TieBreak) (*RLSResult, error) {
 
 // ConstrainedIndependent solves "min Cmax s.t. Mmax ≤ budget" on
 // independent tasks via the SBO parameter search and capped RLS,
-// returning the better feasible assignment.
+// returning the better feasible assignment. For a budget sweep over
+// one instance, PrepareConstrainedIndependent once and call Solve per
+// budget instead.
 func ConstrainedIndependent(in *Instance, budget Mem) (Assignment, Value, error) {
 	return core.ConstrainedIndependent(in, budget)
+}
+
+// ConstrainedPrepared memoizes the budget-independent work of
+// ConstrainedIndependent (both Section 7 routes' prepared halves);
+// Solve evaluates one budget against it.
+type ConstrainedPrepared = core.ConstrainedPrepared
+
+// PrepareConstrainedIndependent prepares an instance for a budget
+// sweep of the constrained solver.
+func PrepareConstrainedIndependent(in *Instance) (*ConstrainedPrepared, error) {
+	return core.PrepareConstrainedIndependent(in)
 }
 
 // Lower bounds.

@@ -10,7 +10,9 @@ package storagesched
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"iter"
 	"runtime"
 	"testing"
 
@@ -25,6 +27,7 @@ import (
 	"storagesched/internal/model"
 	"storagesched/internal/pareto"
 	"storagesched/internal/refine"
+	"storagesched/internal/serve"
 )
 
 // benchExperiment regenerates one registered experiment per iteration.
@@ -315,6 +318,38 @@ func BenchmarkSweepBatchCachedWarm_n50(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchSweepBatchCached(b, c)
+}
+
+// The session layer: the same 50-instance workload through
+// serve.Session — the code path shared by `schedcli sweepbatch` and
+// the schedd daemon — with a resident pool and JSONL encoding to
+// io.Discard. Measures the full request cost the daemon pays per sweep
+// (decode-free: items arrive materialized) over the raw engine cost of
+// BenchmarkSweepBatch_n50; tracked in the BENCH_sweep.json artifact.
+func BenchmarkServeSweep_n50(b *testing.B) {
+	ins, cfg := sweepBatchWorkload(b)
+	var items iter.Seq2[engine.BatchItem, string] = func(yield func(engine.BatchItem, string) bool) {
+		for i, in := range ins {
+			if !yield(engine.BatchItem{Instance: in}, fmt.Sprintf("bench:%d", i+1)) {
+				return
+			}
+		}
+	}
+	session := serve.NewSession(serve.SessionConfig{Workers: cfg.Workers, Resident: true})
+	defer session.Close()
+	spec := serve.SweepSpec{Deltas: cfg.Deltas}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := session.Sweep(ctx, items, spec, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Items != len(ins) || st.Failed != 0 {
+			b.Fatalf("emitted %d fronts (%d failed), want %d clean", st.Items, st.Failed, len(ins))
+		}
+	}
 }
 
 func BenchmarkSweepSequential_n50(b *testing.B) {

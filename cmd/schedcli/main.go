@@ -14,8 +14,10 @@
 // worker pool and writes one JSON front per line (JSONL), streaming in
 // input order with bounded memory. -in accepts a directory of *.json
 // instances, a .jsonl file with one instance per line, or a single
-// .json file; with no -in it reads a stream of JSON instances from
-// stdin (compact JSONL or indented documents, as geninstance emits):
+// .json file; with no -in it reads a stream of JSON documents from
+// stdin (compact JSONL or indented, as geninstance emits — instances,
+// task DAGs carrying an "edges" key, or {"source","item"} envelopes
+// that name their payload):
 //
 //	schedcli sweepbatch -in instances/ -out fronts.jsonl
 //	geninstance ... | schedcli sweepbatch -points 16
@@ -58,9 +60,7 @@ package main
 
 import (
 	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -71,6 +71,7 @@ import (
 	"strings"
 
 	sched "storagesched"
+	"storagesched/internal/serve"
 )
 
 func main() {
@@ -167,35 +168,10 @@ func runSweep(args []string, w io.Writer) error {
 }
 
 // buildGrid constructs the δ-grid for the sweep subcommands; grid
-// shape errors surface as messages, not stack traces.
+// shape errors surface as messages, not stack traces. The vocabulary
+// lives in the serve session layer so schedd speaks it too.
 func buildGrid(kind string, dmin, dmax float64, points int) ([]float64, error) {
-	switch kind {
-	case "geo":
-		return sched.SweepGeometricGrid(dmin, dmax, points)
-	case "lin":
-		return sched.SweepLinearGrid(dmin, dmax, points)
-	}
-	return nil, fmt.Errorf("unknown grid spacing %q", kind)
-}
-
-// batchFrontLine is the JSONL record sweepbatch writes per instance.
-type batchFrontLine struct {
-	Source string           `json:"source"`
-	Index  int              `json:"index"`
-	N      int              `json:"n,omitempty"`
-	M      int              `json:"m,omitempty"`
-	Edges  int              `json:"edges,omitempty"` // task-DAG items only
-	CmaxLB sched.Time       `json:"cmax_lb,omitempty"`
-	MmaxLB sched.Mem        `json:"mmax_lb,omitempty"`
-	Runs   int              `json:"runs,omitempty"`
-	Front  []batchFrontJSON `json:"front,omitempty"`
-	Error  string           `json:"error,omitempty"`
-}
-
-type batchFrontJSON struct {
-	Cmax    sched.Time `json:"cmax"`
-	Mmax    sched.Mem  `json:"mmax"`
-	Witness string     `json:"witness"`
+	return serve.BuildGrid(kind, dmin, dmax, points)
 }
 
 // runSweepBatch implements the sweepbatch subcommand: a streaming
@@ -203,7 +179,7 @@ type batchFrontJSON struct {
 // output line, in input order.
 func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 	fs := flag.NewFlagSet("sweepbatch", flag.ContinueOnError)
-	inPath := fs.String("in", "", "directory of *.json instances, a .jsonl file (one instance per line), a .list file (one instance path per line), or a single .json instance (default: JSONL on stdin)")
+	inPath := fs.String("in", "", "directory of *.json instances and *.graph.json task DAGs, a .jsonl file (one instance per line), a .list file (one instance/graph path per line), or a single .json/.graph.json file (default: a stream of JSON documents on stdin — compact JSONL or indented alike)")
 	outPath := fs.String("out", "", "output JSONL file (default: stdout)")
 	dmin := fs.Float64("dmin", 0.25, "smallest delta of the grid")
 	dmax := fs.Float64("dmax", 8, "largest delta of the grid")
@@ -215,22 +191,32 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 	noRLS := fs.Bool("no-rls", false, "skip the RLS family")
 	cacheDir := fs.String("cache-dir", "", "content-addressed front cache directory (disk tier)")
 	cacheMem := fs.Int("cache-mem", 0, "front cache memory-tier entries (0 = default when caching; < 0 = disk-only)")
-	shards := fs.Int("shards", 1, "run the batch as K in-process shards merged in input order")
-	shardPolicy := fs.String("shard-policy", "hash", "shard placement: rr | hash (hash keeps identical items on one shard)")
-	doRefine := fs.Bool("refine", false, "adaptive two-pass sweep: re-sweep δ-intervals where each front's relative gap exceeds -refine-gap")
+	shards := fs.Int("shards", 1, "run the batch as K in-process shards merged in input order (does not compose with -refine)")
+	shardPolicy := fs.String("shard-policy", "hash", "shard placement with -shards: rr | hash (hash keeps identical items on one shard)")
+	doRefine := fs.Bool("refine", false, "adaptive two-pass sweep: re-sweep δ-intervals where each front's relative gap exceeds -refine-gap (does not compose with -shards)")
 	refineGap := fs.Float64("refine-gap", sched.DefaultRefineGap, "relative front gap above which the δ-interval is refined")
 	refineMax := fs.Int("refine-max-points", sched.DefaultRefineMaxPoints, "refinement δ points budgeted per item")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *doRefine && *shards > 1 {
-		return fmt.Errorf("-refine runs the batch through the two-pass adaptive pipeline and does not compose with -shards")
+	spec := serve.SweepSpec{
+		SkipSBO:         *noSBO,
+		SkipRLS:         *noRLS,
+		MaxPending:      *pending,
+		Refine:          *doRefine,
+		RefineGap:       *refineGap,
+		RefineMaxPoints: *refineMax,
+		Shards:          *shards,
+	}
+	if err := spec.Validate(); err != nil {
+		return err
 	}
 	grid, err := buildGrid(*gridKind, *dmin, *dmax, *points)
 	if err != nil {
 		return err
 	}
-	fcache, err := openCache(*cacheDir, *cacheMem)
+	spec.Deltas = grid
+	fcache, err := serve.OpenCache(*cacheDir, *cacheMem)
 	if err != nil {
 		return err
 	}
@@ -251,95 +237,23 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 		out = f
 	}
 	bw := bufio.NewWriter(out)
-	enc := json.NewEncoder(bw)
 
-	// Per-instance metadata rides on the item Tag — the sequence is
-	// consumed from the engine's producer goroutine, so the Tag is the
-	// race-free channel back to the output loop.
-	type sourceInfo struct {
-		name  string
-		n, m  int
-		edges int
-	}
-	tagged := func(yield func(sched.BatchItem) bool) {
-		for item, source := range items {
-			info := sourceInfo{name: source}
-			switch {
-			case item.Instance != nil:
-				info.n, info.m = item.Instance.N(), item.Instance.M
-			case item.Graph != nil:
-				info.n, info.m = item.Graph.N(), item.Graph.M
-				info.edges = item.Graph.NumEdges()
-			}
-			item.Tag = info
-			if !yield(item) {
-				return
-			}
-		}
-	}
-	bcfg := sched.BatchConfig{
-		Config: sched.SweepConfig{
-			Deltas:  grid,
-			Workers: *workers,
-			SkipSBO: *noSBO,
-			SkipRLS: *noRLS,
-		},
-		MaxPending: *pending,
-		Cache:      fcache,
-	}
-	total := 0
-	failed := 0
-	emitLine := func(br sched.BatchResult) error {
-		total++
-		src := br.Tag.(sourceInfo)
-		line := batchFrontLine{Source: src.name, Index: br.Index, N: src.n, M: src.m, Edges: src.edges}
-		if br.Err != nil {
-			failed++
-			line.Error = br.Err.Error()
-			return enc.Encode(line)
-		}
-		res := br.Result
-		line.CmaxLB = res.Bounds.CmaxLB
-		line.MmaxLB = res.Bounds.MmaxLB
-		line.Runs = len(res.Runs)
-		line.Front = make([]batchFrontJSON, len(res.Front))
-		for i, p := range res.Front {
-			line.Front[i] = batchFrontJSON{
-				Cmax:    p.Value.Cmax,
-				Mmax:    p.Value.Mmax,
-				Witness: res.Runs[p.RunIndex].Label(),
-			}
-		}
-		return enc.Encode(line)
-	}
 	if *shards > 1 {
-		// Sharded: materialize the stream, place items deterministically
-		// and run one pool per shard; results merge back in input order,
-		// so the output is byte-identical to an unsharded run.
-		policy, perr := sched.ParseShardPolicy(*shardPolicy)
-		if perr != nil {
-			return perr
+		if spec.ShardPolicy, err = sched.ParseShardPolicy(*shardPolicy); err != nil {
+			return err
 		}
-		var all []sched.BatchItem
-		tagged(func(it sched.BatchItem) bool { all = append(all, it); return true })
-		plan, perr := sched.NewShardPlan(*shards, policy, all)
-		if perr != nil {
-			return perr
-		}
-		err = sched.ShardedSweepBatch(context.Background(), all, plan, bcfg, emitLine)
-	} else if *doRefine {
-		// Adaptive: a coarse pass at the configured grid, then a
-		// refinement pass targeting each front's bends; one merged
-		// front per line, still in input order.
-		rcfg := sched.RefineConfig{Gap: *refineGap, MaxPoints: *refineMax}
-		err = sched.SweepBatchAdaptive(context.Background(), tagged, bcfg, rcfg, emitLine)
-	} else {
-		err = sched.SweepBatch(context.Background(), tagged, bcfg, emitLine)
 	}
+	// The session layer (shared with the schedd daemon) runs the whole
+	// pipeline — tagging, the sweep itself (sharded, adaptive or plain)
+	// and the JSONL encoding — so the CLI and HTTP outputs are
+	// byte-identical on identical inputs.
+	session := serve.NewSession(serve.SessionConfig{Workers: *workers, Cache: fcache})
+	defer session.Close()
+	st, err := session.Sweep(context.Background(), items, spec, bw)
 	if fcache != nil {
-		st := fcache.Stats()
+		cst := fcache.Stats()
 		fmt.Fprintf(os.Stderr, "schedcli: cache %d hits (%d mem, %d disk), %d misses, %d evictions\n",
-			st.Hits, st.MemHits, st.DiskHits, st.Misses, st.Evictions)
+			cst.Hits, cst.MemHits, cst.DiskHits, cst.Misses, cst.Evictions)
 	}
 	if err != nil {
 		if outFile != nil {
@@ -360,8 +274,8 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 			return err
 		}
 	}
-	if failed > 0 {
-		return fmt.Errorf("sweepbatch: %d of %d instances failed (see the error lines in the output)", failed, total)
+	if st.Failed > 0 {
+		return fmt.Errorf("sweepbatch: %d of %d instances failed (see the error lines in the output)", st.Failed, st.Items)
 	}
 	return nil
 }
@@ -374,7 +288,7 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 // aborting it.
 func batchItems(inPath string, stdin io.Reader) (iter.Seq2[sched.BatchItem, string], error) {
 	if inPath == "" {
-		return streamItems("stdin", stdin, nil), nil
+		return serve.DecodeItems("stdin", stdin, nil), nil
 	}
 	info, err := os.Stat(inPath)
 	if err != nil {
@@ -402,7 +316,7 @@ func batchItems(inPath string, stdin io.Reader) (iter.Seq2[sched.BatchItem, stri
 		if err != nil {
 			return nil, err
 		}
-		return jsonlItems(filepath.Base(inPath), f, f), nil
+		return serve.DecodeJSONLItems(filepath.Base(inPath), f, f), nil
 	}
 	if strings.HasSuffix(inPath, ".list") {
 		paths, err := readListFile(inPath)
@@ -421,15 +335,6 @@ func batchItems(inPath string, stdin io.Reader) (iter.Seq2[sched.BatchItem, stri
 	return func(yield func(sched.BatchItem, string) bool) {
 		yield(fileItem(inPath), filepath.Base(inPath))
 	}, nil
-}
-
-// openCache builds the front cache selected by the -cache-dir and
-// -cache-mem flags; both zero means caching off (a nil cache).
-func openCache(dir string, mem int) (*sched.SweepCache, error) {
-	if dir == "" && mem == 0 {
-		return nil, nil
-	}
-	return sched.NewSweepCache(sched.CacheConfig{Dir: dir, MemEntries: mem})
 }
 
 // readListFile reads a .list file: one instance/graph path per line,
@@ -485,75 +390,6 @@ func readGraph(name string) (*sched.Graph, error) {
 	}
 	defer f.Close()
 	return sched.ReadGraphJSON(f)
-}
-
-// streamItems yields one instance per JSON value decoded from r —
-// accepting compact JSONL and indented multi-line documents alike
-// (geninstance emits the latter) — closing c (when non-nil) once the
-// stream is drained. A malformed value poisons the rest of the stream
-// (there is no line boundary to resynchronize on), so it is reported
-// once and the stream ends.
-func streamItems(label string, r io.Reader, c io.Closer) iter.Seq2[sched.BatchItem, string] {
-	return func(yield func(sched.BatchItem, string) bool) {
-		if c != nil {
-			defer c.Close()
-		}
-		dec := json.NewDecoder(r)
-		for k := 1; ; k++ {
-			var raw json.RawMessage
-			if err := dec.Decode(&raw); err != nil {
-				if err != io.EOF {
-					yield(sched.BatchItem{Err: fmt.Errorf("%s value %d: %w", label, k, err)},
-						fmt.Sprintf("%s:%d", label, k))
-				}
-				return
-			}
-			item := sched.BatchItem{}
-			source := fmt.Sprintf("%s:%d", label, k)
-			if in, err := sched.ReadInstanceJSON(bytes.NewReader(raw)); err != nil {
-				item.Err = fmt.Errorf("%s: %w", source, err)
-			} else {
-				item.Instance = in
-			}
-			if !yield(item, source) {
-				return
-			}
-		}
-	}
-}
-
-// jsonlItems yields one instance per non-empty line of r, closing c
-// (when non-nil) once the stream is drained; unlike streamItems, a
-// bad line fails alone and the remaining lines still sweep.
-func jsonlItems(label string, r io.Reader, c io.Closer) iter.Seq2[sched.BatchItem, string] {
-	return func(yield func(sched.BatchItem, string) bool) {
-		if c != nil {
-			defer c.Close()
-		}
-		sc := bufio.NewScanner(r)
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
-		lineNo := 0
-		for sc.Scan() {
-			lineNo++
-			text := strings.TrimSpace(sc.Text())
-			if text == "" {
-				continue
-			}
-			item := sched.BatchItem{}
-			source := fmt.Sprintf("%s:%d", label, lineNo)
-			if in, err := sched.ReadInstanceJSON(strings.NewReader(text)); err != nil {
-				item.Err = fmt.Errorf("%s: %w", source, err)
-			} else {
-				item.Instance = in
-			}
-			if !yield(item, source) {
-				return
-			}
-		}
-		if err := sc.Err(); err != nil {
-			yield(sched.BatchItem{Err: fmt.Errorf("%s: %w", label, err)}, label)
-		}
-	}
 }
 
 // readInstance decodes a JSON instance from the given file, or from

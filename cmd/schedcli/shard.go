@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	sched "storagesched"
+	"storagesched/internal/serve"
 	"storagesched/internal/shard"
 )
 
@@ -213,7 +214,7 @@ func mergeOutputs(plan *shard.Plan, shardFiles []string, out io.Writer) (failed 
 		closers = append(closers, f)
 	}
 	err = shard.MergeJSONL(out, plan, readers, func(line []byte, g int) ([]byte, error) {
-		var fl batchFrontLine
+		var fl serve.FrontLine
 		if err := json.Unmarshal(line, &fl); err != nil {
 			return nil, err
 		}

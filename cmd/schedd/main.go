@@ -1,0 +1,122 @@
+// Command schedd is the long-running sweep daemon: one process, one
+// resident worker pool, one warm content-addressed front cache, and an
+// HTTP/JSONL API over them. Where `schedcli sweepbatch` pays pool
+// startup and a cold cache on every invocation, schedd keeps both hot
+// for its lifetime and serves repeated sweeps from the same session —
+// the outputs are byte-identical to the CLI on identical inputs,
+// because both run the internal/serve session layer.
+//
+// Endpoints (see docs/API.md for the wire reference):
+//
+//	POST /v1/sweep       sweep the body's instances/DAGs, stream JSONL fronts
+//	GET  /v1/cache/stats front-cache counters as JSON
+//	GET  /healthz        liveness probe
+//	GET  /readyz         readiness probe (503 once draining)
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops admitting
+// sweeps, finishes those in flight, then releases the pool and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"storagesched/internal/serve"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "schedd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, separated from main so tests can drive a
+// full process lifecycle in-process: ready (when non-nil) receives the
+// listener's address once the server accepts connections, and ctx
+// cancellation triggers the same graceful drain as SIGTERM.
+func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("schedd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7440", "listen address")
+	workers := fs.Int("workers", 0, "resident pool size (0 = one per CPU)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed front cache directory (disk tier)")
+	cacheMem := fs.Int("cache-mem", 0, "front cache memory-tier entries (0 = default when caching; < 0 = disk-only)")
+	maxConcurrent := fs.Int("max-concurrent", serve.DefaultMaxConcurrent, "sweeps running at once")
+	maxQueue := fs.Int("max-queue", serve.DefaultMaxQueue, "sweeps queued beyond -max-concurrent before 429 (-1 = none)")
+	maxPerClient := fs.Int("max-per-client", serve.DefaultMaxPerClient, "one client's sweeps in flight before 429 (-1 = no cap)")
+	maxBody := fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body byte limit")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "grace period for in-flight sweeps on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(logw, "schedd: ", log.LstdFlags)
+
+	fcache, err := serve.OpenCache(*cacheDir, *cacheMem)
+	if err != nil {
+		return err
+	}
+	session := serve.NewSession(serve.SessionConfig{
+		Workers:  *workers,
+		Resident: true,
+		Cache:    fcache,
+	})
+	defer session.Close()
+
+	srv := serve.NewServer(session, serve.ServerConfig{
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		MaxPerClient:  *maxPerClient,
+		MaxBodyBytes:  *maxBody,
+	})
+	httpSrv := &http.Server{
+		Handler:  srv,
+		ErrorLog: logger,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s (workers=%d, cache=%v)", ln.Addr(), session.Workers(), fcache != nil)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	// Serve until signalled; then drain: stop admitting, finish
+	// in-flight sweeps (bounded by -drain-timeout), release the pool.
+	sigCtx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	logger.Printf("draining: no new sweeps admitted, waiting for in-flight work")
+	srv.BeginDrain()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained, exiting")
+	return nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon in-process on an ephemeral port and
+// returns its base URL plus a shutdown func that drains it and
+// reports run's exit error.
+func startDaemon(t *testing.T, args ...string) (baseURL string, shutdown func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), io.Discard, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return "http://" + addr, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("daemon did not exit after drain")
+		}
+	}
+}
+
+// smokeEnvelopes builds the request body for the schedcli smoke
+// testdata: one envelope per file, named by base name, in sorted order
+// — exactly the items `sweepbatch -in testdata/smoke` sweeps, so the
+// response must match the CLI golden byte for byte.
+func smokeEnvelopes(t *testing.T) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join("..", "schedcli", "testdata", "smoke", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no smoke testdata found")
+	}
+	var b strings.Builder
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "{\"source\":%q,\"item\":%s}\n", filepath.Base(name), data)
+	}
+	return b.String()
+}
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "schedcli", "testdata", "golden", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestScheddGoldenOverHTTP: the daemon's streamed JSONL for the smoke
+// batch must be byte-identical to the `schedcli sweepbatch` golden
+// files — the same contract the CLI golden test pins, proven across
+// the HTTP transport, for both the plain and the refined pipeline.
+func TestScheddGoldenOverHTTP(t *testing.T) {
+	base, shutdown := startDaemon(t, "-cache-mem", "64", "-workers", "2")
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	body := smokeEnvelopes(t)
+
+	for _, tc := range []struct {
+		golden string
+		query  string
+	}{
+		{"sweepbatch.jsonl", "dmin=0.5&dmax=8&points=6"},
+		{"sweepbatch_refine.jsonl", "dmin=0.5&dmax=8&points=6&refine=1&refine-gap=0.05&refine-max-points=6"},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			resp, err := http.Post(base+"/v1/sweep?"+tc.query, "application/jsonl", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			got, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, got)
+			}
+			if want := readGolden(t, tc.golden); !bytes.Equal(got, want) {
+				t.Errorf("response differs from golden %s:\n got: %s\nwant: %s", tc.golden, got, want)
+			}
+			if failed := resp.Trailer.Get("X-Sweep-Failed"); failed != "0" {
+				t.Errorf("X-Sweep-Failed = %q, want 0", failed)
+			}
+		})
+	}
+}
+
+// TestScheddLifecycle: health and readiness probes respond, cache
+// stats reflect a warm sweep, and cancellation drains the daemon to a
+// clean exit.
+func TestScheddLifecycle(t *testing.T) {
+	base, shutdown := startDaemon(t, "-cache-mem", "64")
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz = %d, want 200", code)
+	}
+	if code, body := get("/v1/cache/stats"); code != http.StatusOK || !strings.Contains(body, `"enabled":true`) {
+		t.Errorf("/v1/cache/stats = %d %q, want 200 with enabled:true", code, body)
+	}
+
+	// Sweep twice; the second run is served entirely from the warm
+	// cache. The cold run's count is 0 or 1: the smoke set carries one
+	// duplicate instance, and whether it hits depends on whether the
+	// original's write-back (at emission) lands before the duplicate's
+	// admission — the bytes are identical either way.
+	body := smokeEnvelopes(t)
+	for i, wantHits := range [][]string{{"0", "1"}, {"4"}} {
+		resp, err := http.Post(base+"/v1/sweep?dmin=0.5&dmax=8&points=6", "application/jsonl", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if hits := resp.Trailer.Get("X-Sweep-Cache-Hits"); !slices.Contains(wantHits, hits) {
+			t.Errorf("request %d: X-Sweep-Cache-Hits = %q, want one of %v", i, hits, wantHits)
+		}
+	}
+
+	if err := shutdown(); err != nil {
+		t.Errorf("drain exit: %v", err)
+	}
+}

@@ -101,6 +101,16 @@ type BatchConfig struct {
 	// the pool stays fed across instance boundaries.
 	MaxPending int
 
+	// Pool, when non-nil, is a resident worker pool (NewPool) shared
+	// with other batches: this batch's jobs are submitted to it instead
+	// of a private per-call pool, and the batch's effective worker
+	// count is the pool's size (the Config.Workers field is ignored).
+	// Output is byte-identical either way; what changes is that jobs of
+	// concurrent batches interleave in one pool, so a long-running
+	// service keeps its workers — and their warm scratch buffers —
+	// across requests.
+	Pool *Pool
+
 	// Cache, when non-nil, is the content-addressed front cache the
 	// batch consults at admission and writes back at emission: an item
 	// whose key (canonical bytes + config fingerprint) is present skips
@@ -159,6 +169,7 @@ type batchState struct {
 	g     *dag.Graph
 	tag   any
 	cfg   Config
+	ctx   context.Context
 	jobs  []job
 	runs  []Run
 
@@ -243,6 +254,31 @@ func (st *batchState) executeJob(idx int, scr *core.Scratch) Run {
 	return run
 }
 
+// run executes one job of a batch against its item's memoized
+// prepared state, or skips it when the item's batch was cancelled.
+// It is the body shared by per-call workers and resident Pool workers;
+// scr is the executing worker's reusable scratch.
+func (bj batchJob) run(scr *core.Scratch) {
+	st := bj.st
+	select {
+	case <-st.ctx.Done():
+		// Count the job down but mark the instance skipped so a
+		// partial result is never emitted.
+		st.skipped.Store(true)
+	default:
+		st.prepOnce.Do(st.prepare)
+		if st.err == nil {
+			st.runs[bj.idx] = st.executeJob(bj.idx, scr)
+		}
+		if testHookAfterRun != nil {
+			testHookAfterRun()
+		}
+	}
+	if st.remaining.Add(-1) == 0 {
+		close(st.done)
+	}
+}
+
 // SweepBatch sweeps every instance of items through one shared worker
 // pool and streams each instance's Result — identical to what Sweep
 // would return for it — to emit, in instance order, as soon as it
@@ -275,6 +311,15 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	// A shared resident pool supplies both the job channel and the
+	// effective worker count; otherwise the batch runs its own workers
+	// over a private channel, torn down when the batch drains.
+	shared := cfg.Pool != nil
+	jobCh := make(chan batchJob)
+	if shared {
+		workers = cfg.Pool.Workers()
+		jobCh = cfg.Pool.jobs
+	}
 	pending := cfg.MaxPending
 	if pending <= 0 {
 		pending = 2 * workers
@@ -283,20 +328,24 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	jobCh := make(chan batchJob)
 	order := make(chan *batchState, pending)
 	admit := make(chan struct{}, pending)
 
 	// Producer: admit instances in input order, lay out their
 	// deterministic job lists and feed the shared pool. The admit
 	// semaphore (released by the emitter loop below) keeps at most
-	// `pending` instances in flight.
+	// `pending` instances in flight. Only a private job channel is
+	// closed here — a resident pool outlives the batch.
+	prodDone := make(chan struct{})
 	go func() {
+		defer close(prodDone)
 		defer close(order)
-		defer close(jobCh)
+		if !shared {
+			defer close(jobCh)
+		}
 		index := 0
 		for item := range items {
-			st := &batchState{index: index, in: item.Instance, g: item.Graph, tag: item.Tag, done: make(chan struct{})}
+			st := &batchState{index: index, in: item.Instance, g: item.Graph, tag: item.Tag, ctx: pctx, done: make(chan struct{})}
 			index++
 			eff := cfg.Config
 			if item.Override != nil {
@@ -361,35 +410,20 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 	}()
 
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One scratch per worker: the solver loops' per-processor
-			// and ready-set buffers are reused across every job this
-			// worker runs, so a warm batch allocates only results.
-			scr := core.NewScratch()
-			for bj := range jobCh {
-				st := bj.st
-				select {
-				case <-pctx.Done():
-					// Count the job down but mark the instance
-					// skipped so a partial result is never emitted.
-					st.skipped.Store(true)
-				default:
-					st.prepOnce.Do(st.prepare)
-					if st.err == nil {
-						st.runs[bj.idx] = st.executeJob(bj.idx, scr)
-					}
-					if testHookAfterRun != nil {
-						testHookAfterRun()
-					}
+	if !shared {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// One scratch per worker: the solver loops' per-processor
+				// and ready-set buffers are reused across every job this
+				// worker runs, so a warm batch allocates only results.
+				scr := core.NewScratch()
+				for bj := range jobCh {
+					bj.run(scr)
 				}
-				if st.remaining.Add(-1) == 0 {
-					close(st.done)
-				}
-			}
-		}()
+			}()
+		}
 	}
 
 	// Emit completed instances in admission order. A state whose jobs
@@ -434,7 +468,15 @@ emitting:
 		}
 		<-admit
 	}
+	// Join the producer before returning: a cancelled select unblocks it,
+	// and once SweepBatch has returned no goroutine of this batch can
+	// still be submitting to a shared pool — the guarantee Pool.Close's
+	// quiesce-first contract rests on. Private workers then drain their
+	// closed channel and exit; jobs of this batch still queued on a
+	// shared pool see the cancelled context and skip, counting themselves
+	// down without touching emitted state.
 	cancel()
+	<-prodDone
 	wg.Wait()
 	if emitErr != nil {
 		return emitErr

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"storagesched/internal/gen"
+	"storagesched/internal/model"
+)
+
+// poolBatchRuns sweeps the instances through SweepBatch with the given
+// BatchConfig and returns a deterministic rendering of every emitted
+// result.
+func poolBatchRuns(t *testing.T, ins []*model.Instance, cfg BatchConfig) []string {
+	t.Helper()
+	var out []string
+	err := SweepBatch(context.Background(), BatchOf(ins...), cfg, func(br BatchResult) error {
+		if br.Err != nil {
+			return br.Err
+		}
+		line := fmt.Sprintf("%d:", br.Index)
+		for _, p := range br.Result.Front {
+			line += fmt.Sprintf(" (%d,%d)@%s", p.Value.Cmax, p.Value.Mmax, br.Result.Runs[p.RunIndex].Label())
+		}
+		out = append(out, line)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SweepBatch: %v", err)
+	}
+	return out
+}
+
+// TestPoolMatchesPrivateWorkers: a batch submitted to a resident Pool
+// must produce exactly the results of the same batch on a private
+// per-call pool of the same size.
+func TestPoolMatchesPrivateWorkers(t *testing.T) {
+	ins := make([]*model.Instance, 12)
+	for i := range ins {
+		ins[i] = gen.Uniform(30, 4, int64(i+1))
+	}
+	grid, err := GeometricGrid(0.5, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := BatchConfig{Config: Config{Deltas: grid, Workers: 3}}
+	want := poolBatchRuns(t, ins, base)
+
+	for _, workers := range []int{1, 3, 8} {
+		pool := NewPool(workers)
+		cfg := base
+		cfg.Pool = pool
+		got := poolBatchRuns(t, ins, cfg)
+		pool.Close()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d item %d:\n got %s\nwant %s", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPoolSharedAcrossConcurrentBatches: several batches submitting to
+// one resident pool concurrently must each stream their own results,
+// deterministic and complete, with no cross-batch interference.
+func TestPoolSharedAcrossConcurrentBatches(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	grid, err := GeometricGrid(0.5, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batches = 5
+	var wg sync.WaitGroup
+	errs := make([]error, batches)
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			ins := make([]*model.Instance, 8)
+			for i := range ins {
+				ins[i] = gen.Uniform(24, 3, int64(100*b+i+1))
+			}
+			next := 0
+			errs[b] = SweepBatch(context.Background(), BatchOf(ins...),
+				BatchConfig{Config: Config{Deltas: grid}, Pool: pool},
+				func(br BatchResult) error {
+					if br.Err != nil {
+						return br.Err
+					}
+					if br.Index != next {
+						return fmt.Errorf("batch %d: result %d out of order (want %d)", b, br.Index, next)
+					}
+					next++
+					if len(br.Result.Front) == 0 {
+						return fmt.Errorf("batch %d item %d: empty front", b, br.Index)
+					}
+					return nil
+				})
+			if errs[b] == nil && next != len(ins) {
+				errs[b] = fmt.Errorf("batch %d: emitted %d of %d", b, next, len(ins))
+			}
+		}(b)
+	}
+	wg.Wait()
+	for b, err := range errs {
+		if err != nil {
+			t.Errorf("batch %d: %v", b, err)
+		}
+	}
+}
+
+// TestPoolCancelledBatchLeavesPoolUsable: cancelling one batch must
+// not wedge the shared pool — its queued jobs skip, and a subsequent
+// batch on the same pool completes normally.
+func TestPoolCancelledBatchLeavesPoolUsable(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	grid, err := GeometricGrid(0.5, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := make([]*model.Instance, 20)
+	for i := range ins {
+		ins[i] = gen.Uniform(40, 4, int64(i+1))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	err = SweepBatch(ctx, BatchOf(ins...), BatchConfig{Config: Config{Deltas: grid}, Pool: pool},
+		func(br BatchResult) error {
+			seen++
+			if seen == 2 {
+				cancel()
+			}
+			return nil
+		})
+	if err != context.Canceled {
+		t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+	}
+
+	// The pool must still execute a fresh batch to completion.
+	got := poolBatchRuns(t, ins[:4], BatchConfig{Config: Config{Deltas: grid}, Pool: pool})
+	if len(got) != 4 {
+		t.Fatalf("post-cancel batch emitted %d results, want 4", len(got))
+	}
+}
+
+// TestPoolCloseIdempotent: Close twice is a no-op, and Workers reports
+// the constructed size (with 0 defaulting to NumCPU > 0).
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(3)
+	if p.Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", p.Workers())
+	}
+	p.Close()
+	p.Close()
+	if def := NewPool(0); def.Workers() <= 0 {
+		t.Errorf("default pool size %d, want > 0", def.Workers())
+	} else {
+		def.Close()
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+// The JSONL wire format. One FrontLine per item, in input order, is
+// what `schedcli sweepbatch` has always written: the field set, field
+// order and number formatting are pinned by the golden files under
+// cmd/schedcli/testdata/golden and byte-interleaved by `schedcli shard
+// merge`, so this file is the single encoder both front ends use —
+// docs/API.md documents the schema field by field.
+
+import (
+	"encoding/json"
+	"io"
+	"iter"
+
+	"storagesched/internal/engine"
+	"storagesched/internal/model"
+)
+
+// FrontLine is the JSONL record written per swept item.
+type FrontLine struct {
+	// Source names the item: a file name, "stdin:3", "body:1" — the
+	// label its producer supplied.
+	Source string `json:"source"`
+
+	// Index is the item's zero-based position in the input stream.
+	Index int `json:"index"`
+
+	// N and M are the item's task and processor counts.
+	N int `json:"n,omitempty"`
+	M int `json:"m,omitempty"`
+
+	// Edges is the arc count of a task-DAG item; instance lines omit
+	// it.
+	Edges int `json:"edges,omitempty"`
+
+	// CmaxLB and MmaxLB are the lower bounds the front ratios are
+	// against.
+	CmaxLB model.Time `json:"cmax_lb,omitempty"`
+	MmaxLB model.Mem  `json:"mmax_lb,omitempty"`
+
+	// Runs counts the (algorithm, δ) evaluations behind the front.
+	Runs int `json:"runs,omitempty"`
+
+	// Front is the approximate Pareto front, sorted by increasing
+	// Cmax.
+	Front []FrontLinePoint `json:"front,omitempty"`
+
+	// Error is the item's failure, when it failed; such lines carry no
+	// front.
+	Error string `json:"error,omitempty"`
+}
+
+// FrontLinePoint is one front point of a FrontLine.
+type FrontLinePoint struct {
+	// Cmax and Mmax are the achieved objective values.
+	Cmax model.Time `json:"cmax"`
+	Mmax model.Mem  `json:"mmax"`
+
+	// Witness is the provenance label of the run achieving the point,
+	// such as "SBO(δ=1)" or "RLS(δ=3,SPT)".
+	Witness string `json:"witness"`
+}
+
+// sourceInfo is the per-item metadata that rides on the engine Tag —
+// the item sequence is consumed from the engine's producer goroutine,
+// so the Tag is the race-free channel back to the emit loop.
+type sourceInfo struct {
+	name  string
+	n, m  int
+	edges int
+}
+
+// taggedItems adapts a (item, source label) sequence to the engine's
+// item sequence, recording each item's label and shape on its Tag.
+func taggedItems(items iter.Seq2[engine.BatchItem, string]) iter.Seq[engine.BatchItem] {
+	return func(yield func(engine.BatchItem) bool) {
+		for item, source := range items {
+			info := sourceInfo{name: source}
+			switch {
+			case item.Instance != nil:
+				info.n, info.m = item.Instance.N(), item.Instance.M
+			case item.Graph != nil:
+				info.n, info.m = item.Graph.N(), item.Graph.M
+				info.edges = item.Graph.NumEdges()
+			}
+			item.Tag = info
+			if !yield(item) {
+				return
+			}
+		}
+	}
+}
+
+// frontLineEmitter returns the emit callback encoding one FrontLine
+// per BatchResult onto w, updating st as it goes. The encoder writes
+// each line with a single Write call, so a flushing writer (the HTTP
+// path) streams whole lines.
+func frontLineEmitter(w io.Writer, st *Stats) func(engine.BatchResult) error {
+	enc := json.NewEncoder(w)
+	return func(br engine.BatchResult) error {
+		st.Items++
+		src := br.Tag.(sourceInfo)
+		line := FrontLine{Source: src.name, Index: br.Index, N: src.n, M: src.m, Edges: src.edges}
+		if br.Err != nil {
+			st.Failed++
+			line.Error = br.Err.Error()
+			return enc.Encode(line)
+		}
+		if br.CacheHit {
+			st.CacheHits++
+		}
+		res := br.Result
+		line.CmaxLB = res.Bounds.CmaxLB
+		line.MmaxLB = res.Bounds.MmaxLB
+		line.Runs = len(res.Runs)
+		line.Front = make([]FrontLinePoint, len(res.Front))
+		for i, p := range res.Front {
+			line.Front[i] = FrontLinePoint{
+				Cmax:    p.Value.Cmax,
+				Mmax:    p.Value.Mmax,
+				Witness: res.Runs[p.RunIndex].Label(),
+			}
+		}
+		return enc.Encode(line)
+	}
+}

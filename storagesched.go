@@ -165,7 +165,9 @@ type (
 	BranchAndBound = makespan.BranchAndBound
 )
 
-// SBO results and runners (Algorithm 1).
+// SBOResult is the outcome of one SBO∆ run (Algorithm 1): the
+// combined assignment π∆, its achieved (Cmax, Mmax), and the analysis
+// bookkeeping of the two sub-schedules it merged.
 type SBOResult = core.SBOResult
 
 // SBO runs Algorithm 1 with explicit sub-algorithms for the makespan
@@ -292,7 +294,9 @@ func PrepareConstrainedIndependent(in *Instance) (*ConstrainedPrepared, error) {
 	return core.PrepareConstrainedIndependent(in)
 }
 
-// Lower bounds.
+// BoundsRecord collects every makespan and memory lower bound for an
+// item (work/m, max task, critical path, the Graham memory bound) —
+// the denominators of all approximation ratios reported here.
 type BoundsRecord = bounds.Record
 
 // BoundsForInstance computes every lower bound for an instance.
@@ -304,7 +308,8 @@ func BoundsForGraph(g *Graph) (BoundsRecord, error) { return bounds.ForGraph(g) 
 // MemLB returns the Graham memory lower bound max(max s, ⌈Σs/m⌉).
 func MemLB(s []Mem, m int) Mem { return bounds.MemLB(s, m) }
 
-// Pareto enumeration (small instances).
+// ParetoPoint is one exact Pareto-front point: its (Cmax, Mmax) value
+// and a witness assignment achieving it.
 type ParetoPoint = pareto.Point
 
 // ParetoFront enumerates the exact Pareto front (n ≤ 24).
@@ -355,7 +360,8 @@ type (
 	// error.
 	BatchItem = engine.BatchItem
 	// BatchConfig is the batch-wide sweep default plus the shared pool
-	// size (Workers) and the streaming window (MaxPending).
+	// size (Workers), the streaming window (MaxPending), an optional
+	// front cache (Cache) and an optional resident pool (Pool).
 	BatchConfig = engine.BatchConfig
 	// BatchResult is one instance's sweep outcome, streamed in
 	// instance order.
@@ -369,6 +375,17 @@ type (
 func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig, emit func(BatchResult) error) error {
 	return engine.SweepBatch(ctx, items, cfg, emit)
 }
+
+// SweepPool is a resident worker pool shared across batch sweeps: set
+// it on BatchConfig.Pool to submit many SweepBatch calls — concurrent
+// or back to back — to one long-lived set of workers and their warm
+// scratch buffers, the schedd daemon shape. Every batch's results are
+// byte-identical to the same batch on a private per-call pool.
+type SweepPool = engine.Pool
+
+// NewSweepPool starts a resident pool of the given size (0 = one per
+// CPU). Close it only after every batch using it has returned.
+func NewSweepPool(workers int) *SweepPool { return engine.NewPool(workers) }
 
 // BatchOf adapts a slice of instances to the item sequence SweepBatch
 // consumes.
@@ -492,7 +509,8 @@ func SweepGeometricGrid(lo, hi float64, n int) ([]float64, error) {
 	return engine.GeometricGrid(lo, hi, n)
 }
 
-// Rendering.
+// GanttOptions configure ASCII Gantt rendering (chart width, memory
+// annotations).
 type GanttOptions = gantt.Options
 
 // RenderGantt writes an ASCII Gantt chart of a timed schedule.

@@ -1,0 +1,89 @@
+// Command schedlint is the repo's multichecker: it runs the
+// internal/lint analyzer suite (determinism, exact-arithmetic,
+// error-contract, panic-policy and doc-convention invariants — see
+// docs/LINTING.md) in either of two modes.
+//
+// Standalone, over import-path patterns:
+//
+//	schedlint ./...
+//	schedlint -detrange=false ./internal/serve
+//
+// As a vet tool, driven by cmd/go with per-package build-cache export
+// data (the CI shape — fast and incremental):
+//
+//	go vet -vettool=$(pwd)/schedlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"storagesched/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("schedlint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: schedlint [-<analyzer>=false ...] [packages | unit.cfg]\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	version := fs.String("V", "", "print version and exit (-V=full for cmd/go)")
+	flagsJSON := fs.Bool("flags", false, "print analyzer flags as JSON (for cmd/go) and exit")
+	enabled := make(map[string]*bool)
+	for _, a := range lint.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version != "" {
+		lint.PrintVersion(os.Stdout, "schedlint")
+		return 0
+	}
+	if *flagsJSON {
+		lint.PrintFlags(os.Stdout, lint.All())
+		return 0
+	}
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	rest := fs.Args()
+	if lint.IsVetInvocation(rest) {
+		return lint.RunVet(rest[len(rest)-1], analyzers, os.Stdout, os.Stderr)
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	diags, fset, err := lint.Load(dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -4,33 +4,18 @@ package storagesched_test
 // symbol in storagesched.go / extensions.go must carry a godoc
 // comment, and type and function docs must start with the symbol name
 // (the go doc convention, so `go doc storagesched.Foo` reads as a
-// sentence). Enforced by AST inspection since the repo carries no
-// linter dependency.
+// sentence). The AST inspection lives in internal/lint as the
+// docconvention analyzer — shared with `go vet -vettool=schedlint` —
+// and this test is a thin wrapper keeping the facade gate in plain
+// `go test`.
 
 import (
-	"go/ast"
 	"go/parser"
 	"go/token"
-	"strings"
 	"testing"
+
+	"storagesched/internal/lint"
 )
-
-// docText flattens a comment group to its text, "" when absent.
-func docText(cg *ast.CommentGroup) string {
-	if cg == nil {
-		return ""
-	}
-	return strings.TrimSpace(cg.Text())
-}
-
-// startsWithName reports whether a doc comment begins with the symbol
-// name (allowing a leading article is NOT allowed — the convention is
-// the bare name).
-func startsWithName(doc, name string) bool {
-	return doc == name || strings.HasPrefix(doc, name+" ") ||
-		strings.HasPrefix(doc, name+".") || strings.HasPrefix(doc, name+",") ||
-		strings.HasPrefix(doc, name+":")
-}
 
 func TestFacadeGodoc(t *testing.T) {
 	fset := token.NewFileSet()
@@ -39,68 +24,8 @@ func TestFacadeGodoc(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}
-		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				if d.Recv != nil || !d.Name.IsExported() {
-					continue
-				}
-				doc := docText(d.Doc)
-				if doc == "" {
-					t.Errorf("%s: exported func %s has no doc comment", file, d.Name.Name)
-				} else if !startsWithName(doc, d.Name.Name) {
-					t.Errorf("%s: doc for func %s does not start with its name: %q", file, d.Name.Name, firstLine(doc))
-				}
-			case *ast.GenDecl:
-				checkGenDecl(t, file, d)
-			}
-		}
-	}
-}
-
-func firstLine(s string) string {
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
-		return s[:i]
-	}
-	return s
-}
-
-func checkGenDecl(t *testing.T, file string, d *ast.GenDecl) {
-	t.Helper()
-	declDoc := docText(d.Doc)
-	switch d.Tok {
-	case token.TYPE:
-		for _, spec := range d.Specs {
-			ts := spec.(*ast.TypeSpec)
-			if !ts.Name.IsExported() {
-				continue
-			}
-			// Grouped specs document themselves; a single spec may use
-			// the declaration's doc.
-			doc := docText(ts.Doc)
-			if doc == "" && len(d.Specs) == 1 {
-				doc = declDoc
-			}
-			if doc == "" {
-				t.Errorf("%s: exported type %s has no doc comment", file, ts.Name.Name)
-			} else if !startsWithName(doc, ts.Name.Name) {
-				t.Errorf("%s: doc for type %s does not start with its name: %q", file, ts.Name.Name, firstLine(doc))
-			}
-		}
-	case token.CONST, token.VAR:
-		// Grouped constants/vars may share one declaration doc; each
-		// exported spec must be covered by either its own doc, a line
-		// comment, or the group doc.
-		for _, spec := range d.Specs {
-			vs := spec.(*ast.ValueSpec)
-			for _, name := range vs.Names {
-				if !name.IsExported() {
-					continue
-				}
-				if declDoc == "" && docText(vs.Doc) == "" && docText(vs.Comment) == "" {
-					t.Errorf("%s: exported %s %s has no doc comment (own or group)", file, d.Tok, name.Name)
-				}
-			}
-		}
+		lint.CheckFileDocs(fset, f, func(pos token.Pos, msg string) {
+			t.Errorf("%s: %s", fset.Position(pos), msg)
+		})
 	}
 }

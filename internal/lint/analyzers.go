@@ -1,0 +1,26 @@
+package lint
+
+// All returns the full schedlint suite in reporting order. The
+// multichecker (cmd/schedlint), the vet unit-checker mode and the
+// fixture tests all draw from this one registry.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetRange,
+		ExactRat,
+		ErrSentinel,
+		CtxSend,
+		PanicFree,
+		DocConvention,
+		DetRand,
+	}
+}
+
+// ByName resolves one analyzer from the registry, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package lint
+
+import "strconv"
+
+// randPkgs are the import paths whose presence marks seeded
+// pseudo-randomness.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randAllowed are the packages that may import math/rand: the
+// instance/DAG generators and the experiment harness, which exist to
+// produce seeded random families, plus the facade that re-exports the
+// generator helpers. None of them is imported by internal/serve or
+// internal/engine (the audit in docs/LINTING.md walks the import
+// chains), so no sweep path can observe a generator's randomness.
+var randAllowed = map[string]bool{
+	"storagesched":                    true,
+	"storagesched/internal/gen":       true,
+	"storagesched/internal/condgraph": true,
+	"storagesched/internal/exp":       true,
+}
+
+// DetRand reports a math/rand import in any package outside the
+// generator/experiment allowlist. The byte-determinism contract says
+// identical inputs produce identical JSONL whatever the worker or
+// shard count; a rand call on a sweep path breaks that silently, and
+// the determinism tests only catch it if the seed happens to vary
+// across runs. The check is deliberately lenient — import-level, not
+// call-level — because an import in a clean package is already a
+// contract change worth a review.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "math/rand import outside the generator/experiment packages (determinism contract)",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	if randAllowed[pass.Path] {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !randPkgs[path] {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "import of %s outside the generator/experiment packages: sweep paths must be deterministic (allowlist in internal/lint/detrand.go)", path)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRange protects the JSONL byte-determinism contract: iterating a
+// map while accumulating into an escaping slice or writing to an
+// encoder emits in Go's randomized map order, so the bytes differ run
+// to run. The finding is suppressed when the function sorts after the
+// loop (the collect-then-sort shape, e.g. engine.AssembleFront) or
+// when the loop carries an explicit //schedlint:ordered directive
+// asserting that order cannot reach an output.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "map iteration accumulating into an escaping slice or writing to an encoder, with no subsequent sort and no //schedlint:ordered",
+	Run:  runDetRange,
+}
+
+// writeMethods are the method/function names treated as "writes to an
+// encoder or stream" when called inside a map iteration: once bytes
+// leave in map order, no later sort can fix them.
+var writeMethods = map[string]bool{
+	"Encode":      true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+}
+
+func runDetRange(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncRanges(pass, fd)
+		}
+	}
+}
+
+func checkFuncRanges(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.hasDirective(rng.Pos(), "ordered") {
+			return true
+		}
+		kind, at := mapOrderEscape(pass, rng)
+		if kind == "" {
+			return true
+		}
+		if kind == "append" && sortsAfter(pass, fd, rng) {
+			return true
+		}
+		switch kind {
+		case "append":
+			pass.Reportf(at.Pos(), "map iteration appends to a slice that outlives the loop, and the function never sorts afterwards: map order reaches the result (sort it, or annotate the loop //schedlint:ordered with why order is immaterial)")
+		case "write":
+			pass.Reportf(at.Pos(), "map iteration writes to an encoder or stream: the bytes leave in randomized map order (collect and sort first, or annotate the loop //schedlint:ordered)")
+		}
+		return true
+	})
+}
+
+// mapOrderEscape scans the body of a map range for the two escape
+// shapes. It returns which one it found ("append" | "write" | "") and
+// where.
+func mapOrderEscape(pass *Pass, rng *ast.RangeStmt) (kind string, at ast.Node) {
+	var foundAppend, foundWrite ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if foundAppend == nil && isEscapingAppend(pass, rng, n) {
+				foundAppend = n
+			}
+		case *ast.CallExpr:
+			if foundWrite == nil && isStreamWrite(pass, n) {
+				foundWrite = n
+			}
+		}
+		return true
+	})
+	// A write is the stronger finding: no later sort can repair it.
+	if foundWrite != nil {
+		return "write", foundWrite
+	}
+	if foundAppend != nil {
+		return "append", foundAppend
+	}
+	return "", nil
+}
+
+// isEscapingAppend matches `target = append(target, ...)` where
+// target's storage is declared outside the range statement, so the
+// map-ordered elements survive the loop.
+func isEscapingAppend(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) bool {
+	if len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pass.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	switch target := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[target]
+		if obj == nil {
+			return false
+		}
+		// Declared inside the loop ⇒ the slice dies with the
+		// iteration; order cannot escape through it.
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		// Fields and elements always outlive the loop body.
+		return true
+	}
+	return false
+}
+
+// isStreamWrite matches calls whose name says bytes are leaving —
+// encoder.Encode, w.Write, fmt.Fprintf — excluding writes into
+// objects created inside this loop (none today; keep it simple and
+// name-based, the suppression directive covers deliberate cases).
+func isStreamWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writeMethods[sel.Sel.Name] {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	// fmt.Print* / fmt.Fprint* are package functions; Encode/Write*
+	// must be methods (a field or local named Write is not a stream).
+	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		return true
+	}
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Type().(*types.Signature).Recv() != nil
+}
+
+// sortsAfter reports whether the function calls into sort or slices
+// lexically after the range loop — the collect-then-sort shape that
+// makes the accumulated order canonical before anyone observes it.
+func sortsAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if path := obj.Pkg().Path(); path == "sort" || path == "slices" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

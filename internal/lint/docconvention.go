@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DocConvention enforces the godoc conventions the facade test
+// (godoc_test.go) pioneered, on every package: an exported top-level
+// function or type must carry a doc comment that starts with the
+// symbol's name, and every exported constant or variable must be
+// covered by its own doc, its line comment, or its group's doc.
+// Methods are exempt, as in the original facade check. godoc_test.go
+// remains as a thin wrapper over CheckFileDocs so the facade contract
+// is still exercised by `go test` alone.
+var DocConvention = &Analyzer{
+	Name: "docconvention",
+	Doc:  "exported symbol without a doc comment, or a doc that does not start with the symbol name",
+	Run:  runDocConvention,
+}
+
+func runDocConvention(pass *Pass) {
+	for _, f := range pass.Files {
+		CheckFileDocs(pass.Fset, f, func(pos token.Pos, msg string) {
+			pass.Reportf(pos, "%s", msg)
+		})
+	}
+}
+
+// CheckFileDocs runs the doc-convention checks over one parsed file,
+// reporting each violation. It needs no type information, so the
+// facade's godoc_test.go calls it directly on freshly parsed files.
+func CheckFileDocs(fset *token.FileSet, f *ast.File, report func(pos token.Pos, msg string)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv != nil || !d.Name.IsExported() {
+				continue
+			}
+			doc := docText(d.Doc)
+			if doc == "" {
+				report(d.Name.Pos(), "exported func "+d.Name.Name+" has no doc comment")
+			} else if !startsWithName(doc, d.Name.Name) {
+				report(d.Name.Pos(), "doc for func "+d.Name.Name+" does not start with its name: "+quoteFirstLine(doc))
+			}
+		case *ast.GenDecl:
+			checkGenDeclDocs(d, report)
+		}
+	}
+}
+
+func checkGenDeclDocs(d *ast.GenDecl, report func(pos token.Pos, msg string)) {
+	declDoc := docText(d.Doc)
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			// Grouped specs document themselves; a single spec may use
+			// the declaration's doc.
+			doc := docText(ts.Doc)
+			if doc == "" && len(d.Specs) == 1 {
+				doc = declDoc
+			}
+			if doc == "" {
+				report(ts.Name.Pos(), "exported type "+ts.Name.Name+" has no doc comment")
+			} else if !startsWithName(doc, ts.Name.Name) {
+				report(ts.Name.Pos(), "doc for type "+ts.Name.Name+" does not start with its name: "+quoteFirstLine(doc))
+			}
+		}
+	case token.CONST, token.VAR:
+		// Grouped constants/vars may share one declaration doc; each
+		// exported spec must be covered by either its own doc, a line
+		// comment, or the group doc.
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, name := range vs.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if declDoc == "" && docText(vs.Doc) == "" && docText(vs.Comment) == "" {
+					report(name.Pos(), "exported "+d.Tok.String()+" "+name.Name+" has no doc comment (own, line or group)")
+				}
+			}
+		}
+	}
+}
+
+// docText flattens a comment group to its text, "" when absent.
+func docText(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	return strings.TrimSpace(cg.Text())
+}
+
+// startsWithName reports whether a doc comment begins with the bare
+// symbol name (a leading article does not satisfy the convention).
+func startsWithName(doc, name string) bool {
+	return doc == name || strings.HasPrefix(doc, name+" ") ||
+		strings.HasPrefix(doc, name+".") || strings.HasPrefix(doc, name+",") ||
+		strings.HasPrefix(doc, name+":") || strings.HasPrefix(doc, name+"'")
+}
+
+func quoteFirstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return "\"" + s + "\""
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrSentinel enforces the wrapped-error contract around the repo's
+// exported sentinels (core.ErrInfeasible, core.ErrNotCertified,
+// exact.ErrNonFinite, exact.ErrRange, ...). Every producer wraps them
+// — `fmt.Errorf("%w (LB=%d ...)", ErrInfeasible, lb)` — so a consumer
+// comparing with == silently stops matching; it must use errors.Is.
+// Symmetrically, an fmt.Errorf that mentions a sentinel without %w
+// severs the chain for every downstream errors.Is caller.
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc:  "== / != against an exported error sentinel (use errors.Is), and fmt.Errorf mentioning one without %w",
+	Run:  runErrSentinel,
+}
+
+func runErrSentinel(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkSentinelCompare flags `x == ErrFoo` and `x != ErrFoo`.
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if obj := sentinelObj(pass, side); obj != nil {
+			pass.Reportf(be.Pos(), "comparison %s %s: sentinel errors are wrapped by their producers, use errors.Is(err, %s)", be.Op, obj.Name(), obj.Name())
+			return
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a sentinel as an
+// argument while the (constant) format string carries no %w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constStringValue(pass, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if obj := sentinelObj(pass, arg); obj != nil {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats sentinel %s without %%w: downstream errors.Is checks will not match", obj.Name())
+			return
+		}
+	}
+}
+
+// sentinelObj resolves expr to an exported package-level error
+// variable named Err* (in any package, this module or not), or nil.
+func sentinelObj(pass *Pass, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	// Package-level, exported, named like a sentinel, and an error.
+	if v.Parent() != v.Pkg().Scope() || !v.Exported() || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// constStringValue evaluates expr to a compile-time string.
+func constStringValue(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return true
+	}
+	iface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface)
+}

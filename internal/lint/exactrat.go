@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exactPkg is the one package allowed to reference math/big: it owns
+// the overflow-checked kernels and their big.Rat fallback paths.
+const exactPkg = "storagesched/internal/exact"
+
+// bigNames are the math/big identifiers whose use constitutes an
+// arbitrary-precision construction on a potentially hot path.
+var bigNames = map[string]bool{
+	"Rat":    true,
+	"Int":    true,
+	"Float":  true,
+	"NewRat": true,
+	"NewInt": true,
+}
+
+// ExactRat reports any math/big rational or integer reference outside
+// internal/exact. PR 6 moved every hot-path big.Rat construction
+// behind the exact kernels (128-bit fast path, big.Rat only as the
+// overflow fallback inside internal/exact); a new big.Rat call site
+// anywhere else silently regresses that work, and nothing but this
+// check would notice until a profile does.
+var ExactRat = &Analyzer{
+	Name: "exactrat",
+	Doc:  "math/big Rat/Int construction outside internal/exact (use the exact kernels)",
+	Run:  runExactRat,
+}
+
+func runExactRat(pass *Pass) {
+	if pass.Path == exactPkg {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !bigNames[sel.Sel.Name] {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "math/big" {
+				return true
+			}
+			// Only flag package-level references (big.Rat, big.NewRat) —
+			// methods like (*big.Rat).Num resolve to math/big too but can
+			// only follow a flagged construction or a value handed across
+			// the internal/exact boundary on purpose.
+			if _, isPkg := pass.Info.Uses[selXIdent(sel)].(*types.PkgName); !isPkg {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "use of big.%s outside %s: route exact arithmetic through the internal/exact kernels", sel.Sel.Name, exactPkg)
+			return true
+		})
+	}
+}
+
+// selXIdent returns the selector's base identifier when it is a plain
+// ident (the "big" of big.Rat), or nil.
+func selXIdent(sel *ast.SelectorExpr) *ast.Ident {
+	id, _ := sel.X.(*ast.Ident)
+	return id
+}

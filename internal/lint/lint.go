@@ -1,0 +1,244 @@
+// Package lint is schedlint: a suite of static analyzers that encode
+// the repository's determinism, exact-arithmetic and error-contract
+// invariants, so the contracts the tests probe dynamically are also
+// checked structurally on every build.
+//
+// The repo deliberately carries no third-party dependencies (the
+// facade's doc conventions were AST-enforced in-tree for the same
+// reason), so the suite does not build on golang.org/x/tools; instead
+// it implements the small slice of the go/analysis vocabulary it
+// needs — Analyzer, Pass, Diagnostic — over the standard library's
+// go/ast and go/types, plus two drivers: a standalone loader
+// (Main, used as `schedlint ./...`) and the `go vet -vettool`
+// unit-checker protocol (RunVet), which cmd/go invokes with a .cfg
+// file per package.
+//
+// Each analyzer's invariant, rationale and suppression directive are
+// documented in docs/LINTING.md. Findings in _test.go files are
+// never reported: tests intentionally violate invariants (identity
+// comparisons in errors.Is contract tests, big.Rat references in
+// differential tests), and every analyzer here guards production
+// code paths only.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package — the
+// in-tree analogue of golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, enable flags and
+	// //schedlint:allow directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-line invariant statement shown by -flags help.
+	Doc string
+
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Path is the package's import path with any test-variant suffix
+	// ("pkg [pkg.test]") trimmed, so path-scoped analyzers behave
+	// identically under the standalone driver and go vet.
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos. The driver filters findings in
+// _test.go files and findings suppressed by a //schedlint directive
+// before printing them.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// normalizePath trims cmd/go's test-variant decorations from an
+// import path: "p [p.test]" → "p". External test packages ("p_test")
+// contain only _test.go files, so they never produce findings.
+func normalizePath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// Run executes the analyzers over one type-checked package and
+// returns the surviving findings in position order — the exported
+// form of the driver pipeline, shared by the fixture harness
+// (internal/lint/linttest) and the facade's godoc wrapper.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string) []Diagnostic {
+	return runAnalyzers(analyzers, fset, files, pkg, info, path)
+}
+
+// runAnalyzers runs the given analyzers over one package and returns
+// the surviving findings in file/offset order: findings in _test.go
+// files and findings carrying a suppression directive are dropped
+// here, uniformly for every driver.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			Path:     normalizePath(path),
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	sup := newSuppressions(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if strings.HasSuffix(posn.Filename, "_test.go") {
+			continue
+		}
+		if sup.allows(d.Analyzer, posn) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Offset != pj.Offset {
+			return pi.Offset < pj.Offset
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}
+
+// suppressions indexes //schedlint:allow directives by file and line.
+// A directive suppresses matching findings on its own line and on the
+// line directly below it (the comment-above-the-statement shape).
+type suppressions struct {
+	fset  *token.FileSet
+	byLoc map[string]map[int][]string // filename → line → analyzer names
+}
+
+// directivePrefix introduces every schedlint comment directive.
+const directivePrefix = "//schedlint:"
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{fset: fset, byLoc: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lines := s.byLoc[posn.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byLoc[posn.Filename] = lines
+				}
+				lines[posn.Line] = append(lines[posn.Line], names...)
+			}
+		}
+	}
+	return s
+}
+
+// parseAllow recognizes "//schedlint:allow name1,name2 [rationale]":
+// the first whitespace-separated token after "allow" is the
+// comma-separated analyzer list, anything after it free-form text.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix+"allow ")
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+func (s *suppressions) allows(analyzer string, posn token.Position) bool {
+	lines := s.byLoc[posn.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{posn.Line, posn.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether the line of pos, or the line directly
+// above it, carries the given schedlint directive (for example
+// "ordered") in any file of the pass. Analyzer-specific directives
+// such as //schedlint:ordered use this.
+func (p *Pass) hasDirective(pos token.Pos, directive string) bool {
+	posn := p.Fset.Position(pos)
+	want := directivePrefix + directive
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if text != want && !strings.HasPrefix(text, want+" ") {
+					continue
+				}
+				cp := p.Fset.Position(c.Pos())
+				if cp.Filename == posn.Filename && (cp.Line == posn.Line || cp.Line == posn.Line-1) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pathIn reports whether the pass's package is one of the given
+// import paths.
+func (p *Pass) pathIn(paths ...string) bool {
+	for _, path := range paths {
+		if p.Path == path {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package lint_test
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"storagesched/internal/lint"
+	"storagesched/internal/lint/linttest"
+)
+
+// fixture resolves a fixture directory under testdata.
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"testdata"}, elem...)...)
+}
+
+// Each analyzer has a fixture whose want comments fail without its
+// check (the harness errors on unmatched wants), plus negative
+// fixtures proving silence where the invariant does not apply.
+
+func TestDetRange(t *testing.T) {
+	linttest.Run(t, fixture("detrange", "a"), "a", lint.DetRange)
+}
+
+func TestExactRat(t *testing.T) {
+	// Outside internal/exact every big.Rat/Int reference is a finding...
+	linttest.Run(t, fixture("exactrat", "engine"), "storagesched/internal/engine", lint.ExactRat)
+	// ...inside, the fallback path is free to use math/big.
+	linttest.Run(t, fixture("exactrat", "exact"), "storagesched/internal/exact", lint.ExactRat)
+}
+
+func TestErrSentinel(t *testing.T) {
+	linttest.Run(t, fixture("errsentinel", "a"), "a", lint.ErrSentinel)
+}
+
+func TestCtxSend(t *testing.T) {
+	linttest.Run(t, fixture("ctxsend", "engine"), "storagesched/internal/engine", lint.CtxSend)
+	// The same bare send outside the enforced packages stays silent.
+	linttest.Run(t, fixture("ctxsend", "outside"), "example.com/outside", lint.CtxSend)
+}
+
+func TestPanicFree(t *testing.T) {
+	linttest.Run(t, fixture("panicfree", "engine"), "storagesched/internal/engine", lint.PanicFree)
+	linttest.Run(t, fixture("panicfree", "model"), "storagesched/internal/model", lint.PanicFree)
+}
+
+func TestDocConvention(t *testing.T) {
+	linttest.Run(t, fixture("docconvention", "a"), "a", lint.DocConvention)
+}
+
+// TestDocConventionConstCoverage covers the case a fixture cannot: an
+// exported const with no doc at all (a want comment on its line would
+// itself count as the covering line comment).
+func TestDocConventionConstCoverage(t *testing.T) {
+	src := `package p
+
+const (
+	Covered = 1 // Covered has a line comment.
+	Orphan  = 2
+)
+
+var Stray = 3
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	lint.CheckFileDocs(fset, f, func(pos token.Pos, msg string) {
+		got = append(got, msg)
+	})
+	want := []string{
+		"exported const Orphan has no doc comment (own, line or group)",
+		"exported var Stray has no doc comment (own, line or group)",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings %q, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if !strings.Contains(got[i], want[i]) {
+			t.Errorf("finding %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, fixture("detrand", "serve"), "storagesched/internal/serve", lint.DetRand)
+	linttest.Run(t, fixture("detrand", "gen"), "storagesched/internal/gen", lint.DetRand)
+}
+
+// TestRegistry pins the suite composition: six invariant analyzers
+// plus the lenient detrand audit, resolvable by name.
+func TestRegistry(t *testing.T) {
+	want := []string{"detrange", "exactrat", "errsentinel", "ctxsend", "panicfree", "docconvention", "detrand"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].Name, name)
+		}
+		if lint.ByName(name) != all[i] {
+			t.Errorf("ByName(%s) does not resolve to the registry entry", name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) != nil")
+	}
+}
+
+// TestTreeClean runs the whole suite over the real module and
+// requires zero findings — the merge gate CI enforces with
+// `go vet -vettool=schedlint ./...`, enforced here too so a plain
+// `go test ./...` catches a violation without the CI round trip.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module from source")
+	}
+	diags, fset, err := lint.Load("../..", []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}

@@ -1,0 +1,150 @@
+// Package linttest runs a schedlint analyzer over a fixture directory
+// and checks its findings against want comments — the in-tree
+// analogue of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of .go files forming one package. Lines
+// that must produce a finding carry a trailing comment of the form
+//
+//	code() // want "regexp"
+//	code() // want "first finding" "second finding"
+//
+// where each quoted string is a regular expression matched against
+// the message of a finding reported on that line. The harness fails
+// the test for any unmatched want and any unwanted finding, so a
+// fixture with wants proves its analyzer fires, and a fixture without
+// proves it stays silent.
+//
+// The fixture's package path is chosen by the caller, which is how
+// the path-scoped analyzers (exactrat, ctxsend, panicfree, detrand)
+// are tested both inside and outside their enforcement scope.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"storagesched/internal/lint"
+)
+
+// wantRe extracts the quoted regexps of one want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture directory as one package with the given
+// import path, applies the analyzer, and reports mismatches between
+// its findings and the fixture's want comments as test errors.
+func Run(t *testing.T, dir, pkgpath string, a *lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no .go files", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	diags := lint.Run([]*lint.Analyzer{a}, fset, files, pkg, info, pkgpath)
+
+	got := make(map[string][]*finding) // "file:line" → findings
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+		got[key] = append(got[key], &finding{msg: d.Message})
+	}
+
+	// Walk the want comments and consume matching findings.
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, m[1], err)
+						continue
+					}
+					if !consume(got[key], re) {
+						t.Errorf("%s: no %s finding matching %q (got %s)", key, a.Name, m[1], messages(got[key]))
+					}
+				}
+			}
+		}
+	}
+	var leftover []string
+	for key, fs := range got {
+		for _, f := range fs {
+			if !f.matched {
+				leftover = append(leftover, fmt.Sprintf("%s: unexpected %s finding: %s", key, a.Name, f.msg))
+			}
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Error(l)
+	}
+}
+
+// finding is one reported diagnostic message and whether a want
+// comment has claimed it.
+type finding struct {
+	msg     string
+	matched bool
+}
+
+func consume(fs []*finding, re *regexp.Regexp) bool {
+	for _, f := range fs {
+		if !f.matched && re.MatchString(f.msg) {
+			f.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func messages(fs []*finding) string {
+	if len(fs) == 0 {
+		return "none"
+	}
+	var ms []string
+	for _, f := range fs {
+		ms = append(ms, fmt.Sprintf("%q", f.msg))
+	}
+	return strings.Join(ms, ", ")
+}

@@ -1,0 +1,16 @@
+package linttest_test
+
+// The harness is itself exercised by every analyzer test in
+// internal/lint; this self-test pins the happy path directly against
+// a real fixture so the package carries its own coverage.
+
+import (
+	"testing"
+
+	"storagesched/internal/lint"
+	"storagesched/internal/lint/linttest"
+)
+
+func TestRunMatchesWants(t *testing.T) {
+	linttest.Run(t, "../testdata/detrange/a", "a", lint.DetRange)
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// The standalone driver: `schedlint ./...`. It enumerates the
+// module's packages with `go list -json`, type-checks them bottom-up
+// (standard-library imports resolve through the compiler's source
+// importer, so no export data and no network are needed), runs the
+// suite over each package and returns the findings. The vet
+// unit-checker protocol (vet.go) is the fast path cmd/go drives with
+// cached export data; this loader is the self-contained one used by
+// tests and ad-hoc runs.
+
+// listedPackage is the slice of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// Load type-checks the packages matching the patterns (in dir) and
+// runs the analyzers over each, returning findings position-sorted
+// per package, packages in import-path order.
+func Load(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset: fset,
+		meta: make(map[string]*listedPackage),
+		pkgs: make(map[string]*checkedPackage),
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+	for _, p := range pkgs {
+		ld.meta[p.ImportPath] = p
+	}
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		paths = append(paths, p.ImportPath)
+	}
+	sort.Strings(paths)
+
+	var diags []Diagnostic
+	for _, path := range paths {
+		cp, err := ld.check(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", path, err)
+		}
+		diags = append(diags, runAnalyzers(analyzers, fset, cp.files, cp.pkg, cp.info, path)...)
+	}
+	return diags, fset, nil
+}
+
+// goList shells out to the go command for package metadata — the only
+// authority on module-mode import resolution.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkedPackage is one type-checked module package with everything a
+// Pass needs.
+type checkedPackage struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks module packages recursively: an import of
+// another module package checks that package first (memoized), any
+// other import falls through to the source importer.
+type loader struct {
+	fset *token.FileSet
+	meta map[string]*listedPackage
+	pkgs map[string]*checkedPackage
+	std  types.Importer
+}
+
+// Import implements types.Importer over the module-or-stdlib split.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if cp, ok := ld.pkgs[path]; ok {
+		return cp.pkg, nil
+	}
+	if _, ok := ld.meta[path]; ok {
+		cp, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return cp.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) check(path string) (*checkedPackage, error) {
+	if cp, ok := ld.pkgs[path]; ok {
+		return cp, nil
+	}
+	meta := ld.meta[path]
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	cp := &checkedPackage{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = cp
+	return cp, nil
+}
+
+// newTypesInfo allocates the maps every analyzer reads.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

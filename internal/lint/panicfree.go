@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// panicFreePkgs are the packages where a panic is always a finding:
+// the sweep pipeline from the numeric kernels to the daemon converted
+// its panics to returned errors (PR 3 made non-finite δ an error
+// everywhere after a confirmed nil-dereference family; PR 6 made the
+// ⌊∆·LB⌋ overflow an error instead of a silent truncation), and a new
+// panic in any of them can take down a worker pool or the daemon.
+var panicFreePkgs = []string{
+	"storagesched/internal/engine",
+	"storagesched/internal/serve",
+	"storagesched/internal/cache",
+	"storagesched/internal/exact",
+	"storagesched/internal/refine",
+	"storagesched/internal/shard",
+	"storagesched/internal/core",
+	"storagesched/internal/uniform",
+	"storagesched/internal/bounds",
+	"storagesched/internal/pareto",
+}
+
+// panicAllowlist names the invariant constructors that may panic: they
+// guard programmer errors (mismatched slice lengths, out-of-range
+// lemma parameters) in packages whose values are built from literals,
+// not from untrusted input. Key is the package path, value the set of
+// allowed function names ("Func" or "Recv.Method").
+var panicAllowlist = map[string]map[string]bool{
+	"storagesched/internal/model": {
+		"NewInstance": true,
+	},
+	"storagesched/internal/dag": {
+		"New":           true,
+		"Graph.AddEdge": true,
+	},
+	"storagesched/internal/stats": {
+		"Acc.Quantile": true,
+	},
+	"storagesched/internal/hardness": {
+		"Lemma1Instance": true,
+		"Lemma2Instance": true,
+		"Lemma3Instance": true,
+		"SBOCurve":       true,
+	},
+}
+
+// PanicFree reports panic calls outside the allowlisted invariant
+// constructors. The sweep pipeline packages must stay panic-free —
+// their failure mode is a returned error that fails one item while
+// the batch continues; a panic instead kills the whole process. In
+// the constructor packages (model, dag, stats, hardness) only the
+// recorded allowlist may panic; a new panic site there is a finding
+// until it is deliberately added to the list.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "panic() outside the allowlisted invariant constructors (return an error)",
+	Run:  runPanicFree,
+}
+
+func runPanicFree(pass *Pass) {
+	allowed, constructorPkg := panicAllowlist[pass.Path]
+	if !constructorPkg && !pass.pathIn(panicFreePkgs...) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if constructorPkg && allowed[funcKey(fd)] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				if constructorPkg {
+					pass.Reportf(call.Pos(), "panic in %s.%s is not on the invariant-constructor allowlist: return an error, or record the new constructor in internal/lint/panicfree.go with a rationale", pass.Pkg.Name(), funcKey(fd))
+				} else {
+					pass.Reportf(call.Pos(), "panic in panic-free package %s: the sweep pipeline reports failures as errors (a panic here kills the worker pool)", pass.Path)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcKey names a declaration the way the allowlist does: "Func" for
+// functions, "Recv.Method" for methods (pointer receivers included).
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if gen, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = gen.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

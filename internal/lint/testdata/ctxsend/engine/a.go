@@ -1,0 +1,67 @@
+// Fixture for ctxsend inside an enforced package: goroutine sends
+// must sit in a select with a cancellation escape.
+package engine
+
+import "context"
+
+// BadBareSend parks forever when the consumer goes away.
+func BadBareSend(ctx context.Context, out chan int) {
+	go func() {
+		out <- 1 // want "channel send in a goroutine outside a select"
+	}()
+}
+
+// BadSelectNoDone has a select, but no escape: both cases are sends.
+func BadSelectNoDone(out, alt chan int) {
+	go func() {
+		select {
+		case out <- 1: // want "channel send in a goroutine outside a select"
+		case alt <- 2: // want "channel send in a goroutine outside a select"
+		}
+	}()
+}
+
+// BadNestedInCase hides an unguarded send inside a guarded case body.
+func BadNestedInCase(ctx context.Context, out, inner chan int) {
+	go func() {
+		select {
+		case out <- 1:
+			inner <- 2 // want "channel send in a goroutine outside a select"
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// GoodGuarded is the producer shape of engine.SweepBatch.
+func GoodGuarded(ctx context.Context, out chan int) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// GoodDefault cannot block: the send is abandoned when full.
+func GoodDefault(out chan int) {
+	go func() {
+		select {
+		case out <- 1:
+		default:
+		}
+	}()
+}
+
+// GoodOutsideGoroutine blocks its caller, not a leaked goroutine; the
+// caller's own context discipline applies.
+func GoodOutsideGoroutine(out chan int) {
+	out <- 1
+}
+
+// GoodAllowed documents why the send cannot block.
+func GoodAllowed(done chan struct{}) {
+	go func() {
+		//schedlint:allow ctxsend buffered handoff of capacity 1, receiver always drains
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,10 @@
+// Fixture for ctxsend outside its enforcement scope: the same bare
+// send produces no finding in an unscoped package.
+package outside
+
+// BareSendUnscoped would be a finding in engine/serve/shard.
+func BareSendUnscoped(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}

@@ -1,0 +1,15 @@
+// Fixture for detrand inside the allowlist: the generator packages
+// exist to produce seeded random families, so no finding.
+package gen
+
+import "math/rand"
+
+// Sizes draws a seeded instance family.
+func Sizes(seed int64, n int) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 1 + r.Int63n(100)
+	}
+	return out
+}

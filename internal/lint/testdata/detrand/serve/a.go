@@ -1,0 +1,10 @@
+// Fixture for detrand outside the generator allowlist: importing
+// math/rand on a sweep path is the finding.
+package serve
+
+import "math/rand" // want "import of math/rand outside the generator/experiment packages"
+
+// Jitter would silently break byte-determinism.
+func Jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,95 @@
+// Fixture for the detrange analyzer: map iterations whose order can
+// reach an output must sort afterwards or carry //schedlint:ordered.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BadAppend accumulates map-ordered keys into an escaping slice and
+// returns it unsorted.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "map iteration appends to a slice that outlives the loop"
+	}
+	return keys
+}
+
+// BadFieldAppend appends into a field, which always outlives the loop.
+type sink struct{ keys []string }
+
+func (s *sink) BadFieldAppend(m map[string]int) {
+	for k := range m {
+		s.keys = append(s.keys, k) // want "map iteration appends to a slice that outlives the loop"
+	}
+}
+
+// BadEncode writes JSON lines in map order; no later sort can fix the
+// emitted bytes.
+func BadEncode(m map[string]int, enc *json.Encoder) {
+	for k, v := range m {
+		_ = enc.Encode(map[string]any{k: fmt.Sprint(v)}) // want "map iteration writes to an encoder or stream"
+	}
+}
+
+// BadFprintf streams formatted lines in map order.
+func BadFprintf(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration writes to an encoder or stream"
+	}
+}
+
+// GoodSortAfter is the collect-then-sort shape of
+// internal/engine/engine.go:383 (AssembleFront): the append runs in
+// map order, but the subsequent sort.Slice makes the result canonical
+// before anyone observes it.
+func GoodSortAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// GoodOrderedDirective asserts order is immaterial explicitly.
+func GoodOrderedDirective(m map[string]int) []string {
+	var keys []string
+	//schedlint:ordered order folded away by the caller's set-union
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodLocalSlice appends to a slice that dies inside the loop body,
+// so map order cannot escape through it.
+func GoodLocalSlice(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		total += len(doubled)
+	}
+	return total
+}
+
+// GoodSliceRange iterates a slice, not a map: order is deterministic.
+func GoodSliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// GoodCounting only aggregates order-independent scalars.
+func GoodCounting(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

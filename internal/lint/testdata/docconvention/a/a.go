@@ -1,0 +1,37 @@
+// Fixture for docconvention: exported symbols need docs that start
+// with their name; groups may share one doc.
+package a
+
+// Documented is a correctly documented function.
+func Documented() {}
+
+func Undocumented() {} // want "exported func Undocumented has no doc comment"
+
+// This helper does something. (Does not start with the name.)
+func WrongStart() {} // want "doc for func WrongStart does not start with its name"
+
+// Widget is a correctly documented type.
+type Widget struct{}
+
+type Naked struct{} // want "exported type Naked has no doc comment"
+
+// The Gadget type. (Leading article violates the bare-name rule.)
+type Gadget struct{} // want "doc for type Gadget does not start with its name"
+
+// Limits for the widget family share one group doc, covering both.
+const (
+	MaxWidgets = 8
+	MinWidgets = 1
+)
+
+// A missing const/var doc cannot be fixtured here: the want comment
+// itself would count as the covering line comment. That case is unit
+// tested directly against CheckFileDocs in lint_test.go.
+const (
+	Documented2 = 1 // Documented2 is covered by its line comment.
+)
+
+// unexported needs nothing.
+func unexported() {}
+
+var _ = unexported

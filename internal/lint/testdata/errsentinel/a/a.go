@@ -1,0 +1,78 @@
+// Fixture for errsentinel: identity comparisons against exported
+// wrapped sentinels, and fmt.Errorf calls that mention one without %w.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInfeasible mirrors the core sentinel shape: exported, wrapped by
+// every producer.
+var ErrInfeasible = errors.New("infeasible")
+
+// ErrNotCertified is a second sentinel.
+var ErrNotCertified = errors.New("not certified")
+
+// errInternal is unexported; identity comparison is out of scope.
+var errInternal = errors.New("internal")
+
+// Solve produces wrapped sentinels, correctly.
+func Solve(lb, budget int) error {
+	if budget < lb {
+		return fmt.Errorf("%w (LB=%d, budget=%d)", ErrInfeasible, lb, budget)
+	}
+	return nil
+}
+
+// BadEq compares a wrapped sentinel by identity.
+func BadEq(err error) bool {
+	return err == ErrInfeasible // want "use errors.Is"
+}
+
+// BadNeq is the negated form.
+func BadNeq(err error) bool {
+	if err != ErrNotCertified { // want "use errors.Is"
+		return true
+	}
+	return false
+}
+
+// BadErrorfNoWrap mentions a sentinel with %v, severing the chain.
+func BadErrorfNoWrap(lb int) error {
+	return fmt.Errorf("solve failed: %v (LB=%d)", ErrInfeasible, lb) // want "without %w"
+}
+
+// BadErrorfNoVerb stringifies a sentinel without any wrapping verb.
+func BadErrorfNoVerb() error {
+	return fmt.Errorf("inner: %s", ErrNotCertified) // want "without %w"
+}
+
+// GoodIs is the required consumer shape.
+func GoodIs(err error) bool {
+	return errors.Is(err, ErrInfeasible)
+}
+
+// GoodWrap wraps with %w like the real producers.
+func GoodWrap(lb int) error {
+	return fmt.Errorf("%w (LB=%d)", ErrNotCertified, lb)
+}
+
+// GoodNilCheck is untouched: nil is not a sentinel.
+func GoodNilCheck(err error) bool {
+	return err == nil
+}
+
+// GoodUnexported identity checks on unexported errors are left to
+// code review; the exported contract is what crosses packages.
+func GoodUnexported(err error) bool {
+	return err == errInternal
+}
+
+// GoodNonError compares an exported non-error Err-prefixed value.
+var ErrCount = 3
+
+// GoodNonErrorCompare must not fire: ErrCount is not an error.
+func GoodNonErrorCompare(n int) bool {
+	return n == ErrCount
+}

@@ -1,0 +1,19 @@
+// Fixture for exactrat outside internal/exact: every math/big
+// Rat/Int reference is a finding.
+package engine
+
+import "math/big"
+
+// Threshold reconstructs the SBO merge threshold the slow way.
+func Threshold(p, m, s, c int64, delta float64) bool {
+	lhs := new(big.Rat).SetInt64(p * m)   // want "use of big.Rat outside storagesched/internal/exact"
+	rhs := new(big.Rat).SetFloat64(delta) // want "use of big.Rat outside storagesched/internal/exact"
+	rhs.Mul(rhs, big.NewRat(s, 1))        // want "use of big.NewRat outside storagesched/internal/exact"
+	rhs.Mul(rhs, big.NewRat(c, 1))        // want "use of big.NewRat outside storagesched/internal/exact"
+	return lhs.Cmp(rhs) < 0
+}
+
+// Count uses big.Int for a bound that fits in int64.
+func Count(n int64) string {
+	return big.NewInt(n).String() // want "use of big.NewInt outside storagesched/internal/exact"
+}

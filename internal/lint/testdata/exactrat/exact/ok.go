@@ -1,0 +1,14 @@
+// Fixture for exactrat inside internal/exact: the fallback path may
+// use math/big freely, so this file must produce no findings.
+package exact
+
+import "math/big"
+
+// CmpBig is a big.Rat fallback like the real kernels carry.
+func CmpBig(a, b, c, d int64) int {
+	lhs := new(big.Rat).SetInt64(a)
+	lhs.Mul(lhs, big.NewRat(b, 1))
+	rhs := new(big.Rat).SetInt64(c)
+	rhs.Mul(rhs, big.NewRat(d, 1))
+	return lhs.Cmp(rhs)
+}

@@ -1,0 +1,21 @@
+// Fixture for panicfree in a panic-free package: every panic is a
+// finding, whatever the function.
+package engine
+
+import "fmt"
+
+// Execute must report failures as errors; this panic is the finding.
+func Execute(delta float64) error {
+	if delta <= 0 {
+		panic(fmt.Sprintf("engine: bad delta %g", delta)) // want "panic in panic-free package"
+	}
+	return nil
+}
+
+// GoodError is the required shape.
+func GoodError(delta float64) error {
+	if delta <= 0 {
+		return fmt.Errorf("engine: bad delta %g", delta)
+	}
+	return nil
+}

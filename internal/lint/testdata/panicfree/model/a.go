@@ -1,0 +1,28 @@
+// Fixture for panicfree in a constructor package: the allowlisted
+// invariant constructor may panic, anything else may not.
+package model
+
+import "fmt"
+
+// Instance is a minimal stand-in for the real model.Instance.
+type Instance struct {
+	M    int
+	P, S []int64
+}
+
+// NewInstance is on the allowlist (programmer-error guard in a
+// literal-built constructor), so its panic is accepted.
+func NewInstance(m int, p, s []int64) *Instance {
+	if len(p) != len(s) {
+		panic(fmt.Sprintf("model: len(p)=%d != len(s)=%d", len(p), len(s)))
+	}
+	return &Instance{M: m, P: p, S: s}
+}
+
+// Normalize is not on the allowlist: a new panic site in the
+// constructor package is a finding until deliberately recorded.
+func Normalize(in *Instance) {
+	if in.M < 1 {
+		panic("model: no processors") // want "not on the invariant-constructor allowlist"
+	}
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// The `go vet -vettool` unit-checker protocol, implemented over the
+// standard library. cmd/go invokes the tool once per package with a
+// single <unit>.cfg argument describing the compilation unit: source
+// files, the import map and the export-data file of every dependency
+// (already produced by the build cache). The tool type-checks just
+// this unit against that export data, runs the analyzers, prints
+// findings as "file:line:col: message" lines and exits non-zero when
+// there are any. It must also answer -V=full (cmd/go hashes the
+// output into its cache key) and write the declared facts output file
+// (empty — the suite defines no cross-package facts).
+
+// vetConfig mirrors the fields of cmd/go's vet config JSON that the
+// suite consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes one unit-checker invocation against cfgFile and
+// returns the process exit code (0 clean, 1 findings, 2 failure).
+// Output goes to out (findings) and errOut (failures).
+func RunVet(cfgFile string, analyzers []*Analyzer, out, errOut io.Writer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(errOut, "schedlint: %v\n", err)
+		return 2
+	}
+	// Facts must exist even when empty, and even for fact-only
+	// invocations on dependencies, or cmd/go reports a missing action
+	// output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(errOut, "schedlint: writing facts: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, info, pkg, err := typecheckUnit(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(errOut, "schedlint: %v\n", err)
+		return 2
+	}
+	diags := runAnalyzers(analyzers, fset, files, pkg, info, cfg.ImportPath)
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		fmt.Fprintf(out, "%s: %s [%s]\n", posn, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// typecheckUnit parses cfg.GoFiles and checks them against the
+// dependency export data cmd/go supplied.
+func typecheckUnit(fset *token.FileSet, cfg *vetConfig) ([]*ast.File, *types.Info, *types.Package, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Export data is keyed by the resolved package path; source
+	// imports go through ImportMap first (vendoring, test variants).
+	exportImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[importPath]; ok {
+				importPath = mapped
+			}
+			return exportImporter.Import(importPath)
+		}),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, info, pkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// PrintVersion answers -V=full the way cmd/go expects: a single line
+// "<name> version <id>" whose id changes whenever the binary does, so
+// vet results are cached against the exact tool build.
+func PrintVersion(out io.Writer, progname string) {
+	id := "devel"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("buildID=%x", sum[:12])
+		}
+	}
+	fmt.Fprintf(out, "%s version devel %s\n", progname, id)
+}
+
+// PrintFlags answers -flags: cmd/go asks the tool for its flag
+// inventory (as JSON) before forwarding any user-provided vet flags.
+func PrintFlags(out io.Writer, analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	flags := []jsonFlag{}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, _ := json.Marshal(flags)
+	fmt.Fprintln(out, string(data))
+}
+
+// IsVetInvocation reports whether args look like a cmd/go unit-checker
+// call (a single *.cfg argument, possibly after flags).
+func IsVetInvocation(args []string) bool {
+	return len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg")
+}

@@ -1,0 +1,261 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"storagesched/internal/lint"
+)
+
+// writeVetUnit materializes one unit-checker invocation: a source file,
+// its cfg, and the facts output path cmd/go would have assigned.
+func writeVetUnit(t *testing.T, src string, mutate func(map[string]any)) (cfgPath, factsPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	factsPath = filepath.Join(dir, "p.vetx")
+	cfg := map[string]any{
+		"ID":          "p",
+		"Compiler":    "gc",
+		"Dir":         dir,
+		"ImportPath":  "p",
+		"GoFiles":     []string{goFile},
+		"ImportMap":   map[string]string{},
+		"PackageFile": map[string]string{},
+		"VetxOutput":  factsPath,
+	}
+	if mutate != nil {
+		mutate(cfg)
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "p.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, factsPath
+}
+
+func TestRunVetReportsFindings(t *testing.T) {
+	// A dependency-free unit with a detrange violation: map iteration
+	// appending to a package-level slice, never sorted.
+	cfgPath, factsPath := writeVetUnit(t, `package p
+
+var sink []int
+
+func f(m map[int]int) {
+	for k := range m {
+		sink = append(sink, k)
+	}
+}
+`, nil)
+	var out, errOut bytes.Buffer
+	code := lint.RunVet(cfgPath, lint.All(), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[detrange]") {
+		t.Errorf("findings missing detrange: %q", out.String())
+	}
+	// The facts file must exist (cmd/go requires the declared action
+	// output) and be empty (the suite defines no facts).
+	if data, err := os.ReadFile(factsPath); err != nil || len(data) != 0 {
+		t.Errorf("facts file: data=%q err=%v, want empty file", data, err)
+	}
+}
+
+func TestRunVetCleanUnit(t *testing.T) {
+	cfgPath, _ := writeVetUnit(t, `package p
+
+func f(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`, nil)
+	var out, errOut bytes.Buffer
+	if code := lint.RunVet(cfgPath, lint.All(), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0; out: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings: %q", out.String())
+	}
+}
+
+func TestRunVetVetxOnly(t *testing.T) {
+	// Fact-gathering invocations on dependencies skip analysis but must
+	// still write the facts file.
+	cfgPath, factsPath := writeVetUnit(t, `package p
+
+var sink []int
+
+func f(m map[int]int) {
+	for k := range m {
+		sink = append(sink, k)
+	}
+}
+`, func(cfg map[string]any) { cfg["VetxOnly"] = true })
+	var out, errOut bytes.Buffer
+	if code := lint.RunVet(cfgPath, lint.All(), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("VetxOnly produced findings: %q", out.String())
+	}
+	if _, err := os.Stat(factsPath); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+func TestRunVetTypecheckFailure(t *testing.T) {
+	const broken = `package p
+
+var x undefinedType
+`
+	cfgPath, _ := writeVetUnit(t, broken, nil)
+	var out, errOut bytes.Buffer
+	if code := lint.RunVet(cfgPath, lint.All(), &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "undefinedType") {
+		t.Errorf("stderr does not name the type error: %q", errOut.String())
+	}
+	// cmd/go sets SucceedOnTypecheckFailure when the compiler already
+	// reported the error; the tool must then stay silent and succeed.
+	cfgPath, _ = writeVetUnit(t, broken, func(cfg map[string]any) {
+		cfg["SucceedOnTypecheckFailure"] = true
+	})
+	out.Reset()
+	errOut.Reset()
+	if code := lint.RunVet(cfgPath, lint.All(), &out, &errOut); code != 0 {
+		t.Fatalf("exit with SucceedOnTypecheckFailure = %d, want 0; stderr: %s", code, errOut.String())
+	}
+}
+
+func TestRunVetMissingExportData(t *testing.T) {
+	// An import with no PackageFile entry is a typecheck failure (exit
+	// 2), not a crash.
+	cfgPath, _ := writeVetUnit(t, `package p
+
+import "fmt"
+
+func f() { fmt.Println("x") }
+`, nil)
+	var out, errOut bytes.Buffer
+	if code := lint.RunVet(cfgPath, lint.All(), &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "export data") {
+		t.Errorf("stderr does not mention export data: %q", errOut.String())
+	}
+}
+
+func TestRunVetWithExportData(t *testing.T) {
+	// End-to-end through the gc export-data importer: resolve fmt's
+	// export file from the build cache the way cmd/go would pass it.
+	exportOut, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "fmt").Output()
+	if err != nil {
+		t.Skipf("go list -export fmt: %v", err)
+	}
+	exportFile := strings.TrimSpace(string(exportOut))
+	if exportFile == "" {
+		t.Skip("no export data for fmt in the build cache")
+	}
+	// fmt.Println inside a map range is a detrange stream-write finding.
+	cfgPath, _ := writeVetUnit(t, `package p
+
+import "fmt"
+
+func f(m map[int]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`, func(cfg map[string]any) {
+		cfg["PackageFile"] = map[string]string{"fmt": exportFile}
+	})
+	var out, errOut bytes.Buffer
+	if code := lint.RunVet(cfgPath, lint.All(), &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1; out: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[detrange]") {
+		t.Errorf("findings missing detrange: %q", out.String())
+	}
+}
+
+func TestRunVetBadConfig(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := lint.RunVet(filepath.Join(t.TempDir(), "nope.cfg"), lint.All(), &out, &errOut); code != 2 {
+		t.Errorf("missing cfg: exit = %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cfg")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := lint.RunVet(bad, lint.All(), &out, &errOut); code != 2 {
+		t.Errorf("malformed cfg: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "parsing") {
+		t.Errorf("stderr does not mention parsing: %q", errOut.String())
+	}
+}
+
+func TestPrintVersion(t *testing.T) {
+	var buf bytes.Buffer
+	lint.PrintVersion(&buf, "schedlint")
+	line := buf.String()
+	if !strings.HasPrefix(line, "schedlint version devel ") || !strings.HasSuffix(line, "\n") {
+		t.Errorf("version line = %q", line)
+	}
+}
+
+func TestPrintFlags(t *testing.T) {
+	var buf bytes.Buffer
+	lint.PrintFlags(&buf, lint.All())
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(flags) != len(lint.All()) {
+		t.Fatalf("%d flags, want %d", len(flags), len(lint.All()))
+	}
+	for i, a := range lint.All() {
+		if flags[i].Name != a.Name || !flags[i].Bool || flags[i].Usage == "" {
+			t.Errorf("flag %d = %+v, want boolean %q with usage", i, flags[i], a.Name)
+		}
+	}
+}
+
+func TestIsVetInvocation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{nil, false},
+		{[]string{"./..."}, false},
+		{[]string{"/tmp/b001/vet.cfg"}, true},
+		{[]string{"-detrange=false", "/tmp/b001/vet.cfg"}, true},
+	}
+	for _, c := range cases {
+		if got := lint.IsVetInvocation(c.args); got != c.want {
+			t.Errorf("IsVetInvocation(%q) = %v, want %v", c.args, got, c.want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,6 +56,55 @@ func TestSweepBatchGolden(t *testing.T) {
 				t.Errorf("sweepbatch output drifted from %s\ngot:\n%swant:\n%s", golden, buf.Bytes(), want)
 			}
 		})
+	}
+}
+
+// TestSweepBatchGoldenWithStats: -stats must leave the JSONL on
+// stdout byte-identical to the golden (instrumentation never perturbs
+// the output contract) while printing the registry snapshot — the
+// same families a schedd /metrics scrape exposes — to stderr.
+func TestSweepBatchGoldenWithStats(t *testing.T) {
+	oldStderr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+
+	var buf bytes.Buffer
+	runErr := runSweepBatch([]string{
+		"-in", filepath.Join("testdata", "smoke"),
+		"-dmin", "0.5", "-dmax", "8", "-points", "6",
+		"-stats",
+	}, strings.NewReader(""), &buf)
+	w.Close()
+	os.Stderr = oldStderr
+	captured, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("sweepbatch -stats: %v", runErr)
+	}
+
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "sweepbatch.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-stats perturbed the JSONL output\ngot:\n%swant:\n%s", buf.Bytes(), want)
+	}
+	text := string(captured)
+	for _, family := range []string{
+		"# TYPE sched_sweeps_completed_total counter",
+		"sched_sweeps_completed_total 1",
+		"sched_sweep_items_total 4",
+		"sched_engine_jobs_total",
+		"sched_sweep_seconds_count 1",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("-stats output missing %q:\n%s", family, text)
+		}
 	}
 }
 

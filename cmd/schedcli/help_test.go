@@ -39,7 +39,7 @@ func TestSweepBatchHelpCoversEveryFlag(t *testing.T) {
 		"-in", "-out", "-dmin", "-dmax", "-points", "-grid",
 		"-workers", "-pending", "-no-sbo", "-no-rls",
 		"-cache-dir", "-cache-mem", "-shards", "-shard-policy",
-		"-refine", "-refine-gap", "-refine-max-points",
+		"-refine", "-refine-gap", "-refine-max-points", "-stats",
 	} {
 		if !strings.Contains(help, "\n  "+name+" ") && !strings.Contains(help, "\n  "+name+"\n") {
 			t.Errorf("sweepbatch -h does not document %s", name)

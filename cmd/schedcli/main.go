@@ -71,6 +71,7 @@ import (
 	"strings"
 
 	sched "storagesched"
+	"storagesched/internal/metrics"
 	"storagesched/internal/serve"
 )
 
@@ -196,6 +197,7 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 	doRefine := fs.Bool("refine", false, "adaptive two-pass sweep: re-sweep δ-intervals where each front's relative gap exceeds -refine-gap (does not compose with -shards)")
 	refineGap := fs.Float64("refine-gap", sched.DefaultRefineGap, "relative front gap above which the δ-interval is refined")
 	refineMax := fs.Int("refine-max-points", sched.DefaultRefineMaxPoints, "refinement δ points budgeted per item")
+	stats := fs.Bool("stats", false, "print the batch's metrics registry (Prometheus text format) to stderr when done — the same families a schedd /metrics scrape exposes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -247,13 +249,22 @@ func runSweepBatch(args []string, stdin io.Reader, w io.Writer) error {
 	// pipeline — tagging, the sweep itself (sharded, adaptive or plain)
 	// and the JSONL encoding — so the CLI and HTTP outputs are
 	// byte-identical on identical inputs.
-	session := serve.NewSession(serve.SessionConfig{Workers: *workers, Cache: fcache})
+	scfg := serve.SessionConfig{Workers: *workers, Cache: fcache}
+	if *stats {
+		scfg.Metrics = metrics.NewRegistry()
+	}
+	session := serve.NewSession(scfg)
 	defer session.Close()
 	st, err := session.Sweep(context.Background(), items, spec, bw)
 	if fcache != nil {
 		cst := fcache.Stats()
 		fmt.Fprintf(os.Stderr, "schedcli: cache %d hits (%d mem, %d disk), %d misses, %d evictions\n",
 			cst.Hits, cst.MemHits, cst.DiskHits, cst.Misses, cst.Evictions)
+	}
+	if *stats {
+		// The registry snapshot goes to stderr so the JSONL fronts on
+		// stdout stay byte-identical with or without -stats.
+		session.Registry().WriteText(os.Stderr)
 	}
 	if err != nil {
 		if outFile != nil {

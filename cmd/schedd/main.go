@@ -10,8 +10,14 @@
 //
 //	POST /v1/sweep       sweep the body's instances/DAGs, stream JSONL fronts
 //	GET  /v1/cache/stats front-cache counters as JSON
+//	GET  /metrics        Prometheus text exposition of the daemon's counters
 //	GET  /healthz        liveness probe
 //	GET  /readyz         readiness probe (503 once draining)
+//	GET  /debug/pprof/   runtime profiles (only with -pprof)
+//
+// Logs are structured JSONL on stderr via log/slog: lifecycle events
+// plus one access line per finished request, carrying the same request
+// ID the response returns as X-Request-ID.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops admitting
 // sweeps, finishes those in flight, then releases the pool and exits 0.
@@ -23,14 +29,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"storagesched/internal/metrics"
 	"storagesched/internal/serve"
 )
 
@@ -56,11 +64,13 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	maxPerClient := fs.Int("max-per-client", serve.DefaultMaxPerClient, "one client's sweeps in flight before 429 (-1 = no cap)")
 	maxBody := fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body byte limit")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "grace period for in-flight sweeps on shutdown")
+	pprofOn := fs.Bool("pprof", false, "serve runtime profiles on /debug/pprof/ (off by default: profiles expose internals)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	logger := log.New(logw, "schedd: ", log.LstdFlags)
+	logh := slog.NewJSONHandler(logw, nil)
+	logger := slog.New(logh)
 
 	fcache, err := serve.OpenCache(*cacheDir, *cacheMem)
 	if err != nil {
@@ -70,6 +80,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		Workers:  *workers,
 		Resident: true,
 		Cache:    fcache,
+		Metrics:  metrics.NewRegistry(),
 	})
 	defer session.Close()
 
@@ -78,17 +89,35 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		MaxQueue:      *maxQueue,
 		MaxPerClient:  *maxPerClient,
 		MaxBodyBytes:  *maxBody,
+		AccessLog:     logger,
 	})
+	var handler http.Handler = srv
+	if *pprofOn {
+		// pprof mounts beside the API; everything else still flows
+		// through the server (request IDs, access logs, admission).
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
 	httpSrv := &http.Server{
-		Handler:  srv,
-		ErrorLog: logger,
+		Handler:  handler,
+		ErrorLog: slog.NewLogLogger(logh, slog.LevelError),
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on %s (workers=%d, cache=%v)", ln.Addr(), session.Workers(), fcache != nil)
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"workers", session.Workers(),
+		"cache", fcache != nil,
+		"pprof", *pprofOn)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -106,7 +135,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		return err
 	case <-sigCtx.Done():
 	}
-	logger.Printf("draining: no new sweeps admitted, waiting for in-flight work")
+	logger.Info("draining", "msg", "no new sweeps admitted, waiting for in-flight work")
 	srv.BeginDrain()
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -117,6 +146,6 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("drained, exiting")
+	logger.Info("drained")
 	return nil
 }

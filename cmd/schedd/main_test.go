@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -123,6 +125,163 @@ func TestScheddGoldenOverHTTP(t *testing.T) {
 		})
 	}
 }
+
+// TestScheddMetricsAndPprof: /metrics serves the Prometheus text
+// families and advances across a sweep; /debug/pprof/ answers only
+// when -pprof is set.
+func TestScheddMetricsAndPprof(t *testing.T) {
+	base, shutdown := startDaemon(t, "-cache-mem", "64", "-workers", "2", "-pprof")
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	scrape := func() string {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics = %d: %s", resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Fatalf("/metrics Content-Type = %q", ct)
+		}
+		return string(body)
+	}
+
+	before := scrape()
+	if !strings.Contains(before, "sched_sweeps_completed_total 0") {
+		t.Errorf("fresh daemon scrape missing zeroed sweep counter:\n%s", before)
+	}
+
+	resp, err := http.Post(base+"/v1/sweep?dmin=0.5&dmax=8&points=6", "application/jsonl", strings.NewReader(smokeEnvelopes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	after := scrape()
+	if !strings.Contains(after, "sched_sweeps_completed_total 1") {
+		t.Errorf("scrape after one sweep did not advance:\n%s", after)
+	}
+	for _, family := range []string{"sched_sweep_items_total", "sched_engine_jobs_total", "sched_cache_puts_total"} {
+		if !strings.Contains(after, family) {
+			t.Errorf("scrape missing family %s", family)
+		}
+	}
+
+	presp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("-pprof daemon /debug/pprof/cmdline = %d, want 200", presp.StatusCode)
+	}
+}
+
+// TestScheddPprofOffByDefault: without -pprof the profile endpoints do
+// not exist.
+func TestScheddPprofOffByDefault(t *testing.T) {
+	base, shutdown := startDaemon(t)
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("default daemon /debug/pprof/cmdline = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestScheddAccessLog: the daemon's stderr stream carries one JSON
+// access line per request, with the same ID the response returns.
+func TestScheddAccessLog(t *testing.T) {
+	var mu sync.Mutex
+	var logbuf bytes.Buffer
+	logw := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return logbuf.Write(p)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0"}, logw, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Error("response missing X-Request-ID header")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+
+	mu.Lock()
+	logs := logbuf.String()
+	mu.Unlock()
+	var sawAccess bool
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		var ev struct {
+			Msg  string `json:"msg"`
+			ID   string `json:"id"`
+			Path string `json:"path"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		if ev.Msg == "request" && ev.Path == "/healthz" && ev.ID == id {
+			sawAccess = true
+		}
+	}
+	if !sawAccess {
+		t.Errorf("no access line for /healthz request %q in logs:\n%s", id, logs)
+	}
+	for _, lifecycle := range []string{`"msg":"listening"`, `"msg":"drained"`} {
+		if !strings.Contains(logs, lifecycle) {
+			t.Errorf("logs missing lifecycle event %s:\n%s", lifecycle, logs)
+		}
+	}
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
 // TestScheddLifecycle: health and readiness probes respond, cache
 // stats reflect a warm sweep, and cancellation drains the daemon to a

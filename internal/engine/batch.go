@@ -111,6 +111,12 @@ type BatchConfig struct {
 	// across requests.
 	Pool *Pool
 
+	// Metrics, when non-nil, is the engine instrument bundle
+	// (NewMetrics) the batch's jobs update as they queue, start and
+	// finish. Instrumentation observes the job flow without touching
+	// results: output bytes are identical with metrics on or off.
+	Metrics *Metrics
+
 	// Cache, when non-nil, is the content-addressed front cache the
 	// batch consults at admission and writes back at emission: an item
 	// whose key (canonical bytes + config fingerprint) is present skips
@@ -187,9 +193,22 @@ type batchState struct {
 	key       cache.Key
 	writeBack bool
 
+	// met is the batch's instrument bundle (nil when uninstrumented);
+	// prepared flags the memoized state as built, so later jobs of the
+	// item count as memo hits.
+	met      *Metrics
+	prepared atomic.Bool
+
 	remaining atomic.Int64
 	skipped   atomic.Bool
 	done      chan struct{}
+}
+
+// doPrepare runs prepare and flags the memoized state as built; it is
+// the body handed to prepOnce.
+func (st *batchState) doPrepare() {
+	st.prepare()
+	st.prepared.Store(true)
 }
 
 // prepare memoizes the per-item state shared by every run — for
@@ -260,15 +279,22 @@ func (st *batchState) executeJob(idx int, scr *core.Scratch) Run {
 // scr is the executing worker's reusable scratch.
 func (bj batchJob) run(scr *core.Scratch) {
 	st := bj.st
+	st.met.jobDequeued()
 	select {
 	case <-st.ctx.Done():
 		// Count the job down but mark the instance skipped so a
 		// partial result is never emitted.
 		st.skipped.Store(true)
 	default:
-		st.prepOnce.Do(st.prepare)
+		already := st.prepared.Load()
+		st.prepOnce.Do(st.doPrepare)
+		if already {
+			st.met.memoHit()
+		}
 		if st.err == nil {
+			t0 := st.met.jobStart()
 			st.runs[bj.idx] = st.executeJob(bj.idx, scr)
+			st.met.jobEnd(t0)
 		}
 		if testHookAfterRun != nil {
 			testHookAfterRun()
@@ -345,7 +371,7 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 		}
 		index := 0
 		for item := range items {
-			st := &batchState{index: index, in: item.Instance, g: item.Graph, tag: item.Tag, ctx: pctx, done: make(chan struct{})}
+			st := &batchState{index: index, in: item.Instance, g: item.Graph, tag: item.Tag, ctx: pctx, met: cfg.Metrics, done: make(chan struct{})}
 			index++
 			eff := cfg.Config
 			if item.Override != nil {
@@ -400,9 +426,11 @@ func SweepBatch(ctx context.Context, items iter.Seq[BatchItem], cfg BatchConfig,
 				return
 			}
 			for i := range st.jobs {
+				st.met.jobQueued()
 				select {
 				case jobCh <- batchJob{st: st, idx: i}:
 				case <-pctx.Done():
+					st.met.jobUnqueued()
 					return
 				}
 			}

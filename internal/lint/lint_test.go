@@ -44,6 +44,10 @@ func TestCtxSend(t *testing.T) {
 func TestPanicFree(t *testing.T) {
 	linttest.Run(t, fixture("panicfree", "engine"), "storagesched/internal/engine", lint.PanicFree)
 	linttest.Run(t, fixture("panicfree", "model"), "storagesched/internal/model", lint.PanicFree)
+	// The metrics registry is panic-free by design: misuse degrades
+	// (detached instruments, folded labels) rather than crashing the
+	// process that carries the instrumentation.
+	linttest.Run(t, fixture("panicfree", "metrics"), "storagesched/internal/metrics", lint.PanicFree)
 }
 
 func TestDocConvention(t *testing.T) {

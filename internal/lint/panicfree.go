@@ -11,10 +11,16 @@ import (
 // everywhere after a confirmed nil-dereference family; PR 6 made the
 // ⌊∆·LB⌋ overflow an error instead of a silent truncation), and a new
 // panic in any of them can take down a worker pool or the daemon.
+// internal/metrics is on the list for the same reason from the other
+// direction: instrumentation is called from every hot path, and a
+// metrics registry that panics on misuse (duplicate registration, a
+// label-count mismatch) turns an observability bug into an outage —
+// the registry degrades instead (detached instruments, folded labels).
 var panicFreePkgs = []string{
 	"storagesched/internal/engine",
 	"storagesched/internal/serve",
 	"storagesched/internal/cache",
+	"storagesched/internal/metrics",
 	"storagesched/internal/exact",
 	"storagesched/internal/refine",
 	"storagesched/internal/shard",

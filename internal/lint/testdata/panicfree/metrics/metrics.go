@@ -1,0 +1,25 @@
+// Fixture for panicfree in internal/metrics: a registry that panics
+// on misuse turns an observability bug into an outage, so every panic
+// is a finding — misuse must degrade (detached instruments, folded
+// labels) instead.
+package metrics
+
+import "fmt"
+
+// Register must not punish a duplicate registration with a crash.
+func Register(name string, taken map[string]bool) {
+	if taken[name] {
+		panic(fmt.Sprintf("metrics: duplicate %q", name)) // want "panic in panic-free package"
+	}
+	taken[name] = true
+}
+
+// RegisterDetached is the required shape: the conflicting instrument
+// still works, it just never appears in a scrape.
+func RegisterDetached(name string, taken map[string]bool) bool {
+	if taken[name] {
+		return false
+	}
+	taken[name] = true
+	return true
+}

@@ -1,0 +1,403 @@
+// Package metrics is a dependency-free metrics layer for the sweep
+// stack: atomic counters, gauges and fixed-bucket histograms behind a
+// Registry whose text exposition (Prometheus text format, text.go) is
+// sorted and byte-deterministic for a given state.
+//
+// The package exists because the daemon's observability must obey the
+// same contract as its output: identical state encodes to identical
+// bytes, whatever goroutine interleaving produced that state. Nothing
+// here allocates on the increment path, no instrument method can
+// panic, and every method is safe on a nil receiver — instrumented
+// code reads straight-line (`m.hits.Inc()`) whether or not a registry
+// was wired, so hot paths carry no `if metrics != nil` branches.
+//
+// Registration is idempotent and first-wins: asking a Registry for a
+// family that already exists returns the existing instrument when the
+// kind and label names agree, and a valid but unregistered ("detached")
+// instrument when they conflict — misuse degrades to missing series,
+// never to a panic in a serving daemon.
+//
+// All types are safe for concurrent use.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// kind discriminates the family types in the registry.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// maxChildren bounds a labeled family's cardinality: children past the
+// bound fold into a single series whose label values are all "_other",
+// so an unbounded label (a client identifier, say) cannot grow the
+// registry without bound.
+const maxChildren = 1024
+
+// otherLabel is the folded label value of children past maxChildren.
+const otherLabel = "_other"
+
+// Registry holds metric families and renders them in the Prometheus
+// text format. Construct with NewRegistry; the zero value is not
+// usable. A nil *Registry is a valid "metrics off" value for the
+// constructors that accept one (they return nil instruments, whose
+// methods are no-ops).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric family: its metadata plus its children
+// keyed by rendered label block ("" for the scalar child).
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string  // label names; empty for scalar families
+	bounds []float64 // histogram upper bounds (exclusive of +Inf)
+	fn     func() int64
+
+	mu       sync.Mutex
+	children map[string]any // *Counter | *Gauge | *Histogram
+}
+
+// lookup returns the named family, creating it on first use. A name
+// already registered with a different kind or label set yields a
+// detached family (not in the map): its instruments work but are never
+// encoded, so a registration conflict cannot corrupt the exposition.
+func (r *Registry) lookup(name, help string, k kind, labels []string, bounds []float64, fn func() int64) *family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind == k && equalLabels(f.labels, labels) {
+			return f
+		}
+		return newFamily(name, help, k, labels, bounds, fn)
+	}
+	f := newFamily(name, help, k, labels, bounds, fn)
+	r.families[name] = f
+	return f
+}
+
+// newFamily builds a family value (registered or detached alike).
+func newFamily(name, help string, k kind, labels []string, bounds []float64, fn func() int64) *family {
+	return &family{
+		name:     name,
+		help:     help,
+		kind:     k,
+		labels:   labels,
+		bounds:   bounds,
+		fn:       fn,
+		children: make(map[string]any),
+	}
+}
+
+// equalLabels reports whether two label-name lists match exactly.
+func equalLabels(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// child returns the family's child at the rendered label-block key,
+// creating it with mk on first use. Past maxChildren new keys fold
+// into the all-"_other" child.
+func (f *family) child(key string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	if key != "" && len(f.children) >= maxChildren {
+		folded := renderLabels(f.labels, foldedValues(len(f.labels)))
+		if c, ok := f.children[folded]; ok {
+			return c
+		}
+		key = folded
+	}
+	c := mk()
+	f.children[key] = c
+	return c
+}
+
+// foldedValues returns n copies of the fold marker.
+func foldedValues(n int) []string {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = otherLabel
+	}
+	return vals
+}
+
+// Counter is a monotonically increasing value. The zero value is
+// ready to use; methods on a nil *Counter are no-ops, so instruments
+// obtained from a nil Registry cost one branch per operation.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, kindCounter, nil, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return f.child("", func() any { return new(Counter) }).(*Counter)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n; negative n is ignored (a counter never goes down).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready;
+// methods on a nil *Gauge are no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, kindGauge, nil, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return f.child("", func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() {
+	if g != nil {
+		g.v.Add(1)
+	}
+}
+
+// Dec subtracts one.
+func (g *Gauge) Dec() {
+	if g != nil {
+		g.v.Add(-1)
+	}
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default histogram bucket upper bounds, in
+// seconds: microsecond-scale jobs through ten-second sweeps.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets chosen at
+// registration. Observations are cumulative in the exposition (every
+// bucket counts values ≤ its bound, the +Inf bucket counts all), as
+// the Prometheus format requires. Methods on a nil *Histogram are
+// no-ops.
+type Histogram struct {
+	bounds []float64      // sorted, deduplicated upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits of the running sum
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (nil means
+// DefBuckets). Bounds are copied, sorted and deduplicated; an
+// implicit +Inf bucket is always present.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	sorted := make([]float64, 0, len(bounds))
+	sorted = append(sorted, bounds...)
+	sort.Float64s(sorted)
+	dedup := sorted[:0]
+	for i, b := range sorted {
+		if i > 0 && b == sorted[i-1] {
+			continue
+		}
+		if math.IsInf(b, +1) || math.IsNaN(b) {
+			continue // +Inf is implicit; NaN is meaningless as a bound
+		}
+		dedup = append(dedup, b)
+	}
+	f := r.lookup(name, help, kindHistogram, nil, dedup, nil)
+	if f == nil {
+		return nil
+	}
+	return f.child("", func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// newHistogram builds a histogram over prepared (sorted, finite,
+// deduplicated) bounds.
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value. NaN observations are dropped — they
+// would poison the sum for every later scrape.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the timing
+// idiom: t0 := time.Now(); defer h.ObserveSince(t0).
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// CounterVec is a family of counters split by label values, e.g.
+// rejections by reason. Obtain children with With; cardinality is
+// bounded (children past an internal cap fold into one "_other"
+// series). Methods on a nil *CounterVec are no-ops.
+type CounterVec struct {
+	fam *family
+}
+
+// CounterVec returns the labeled counter family registered under name
+// with the given label names, creating it on first use.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	f := r.lookup(name, help, kindCounter, labels, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return &CounterVec{fam: f}
+}
+
+// With returns the child counter at the given label values (in the
+// label-name order given at registration). A value count that does
+// not match the label count is normalized — missing values become
+// "_invalid", extras are dropped — so misuse cannot panic.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	values = normalizeValues(len(v.fam.labels), values)
+	key := renderLabels(v.fam.labels, values)
+	return v.fam.child(key, func() any { return new(Counter) }).(*Counter)
+}
+
+// normalizeValues pads (with "_invalid") or truncates values to n.
+func normalizeValues(n int, values []string) []string {
+	if len(values) == n {
+		return values
+	}
+	out := make([]string, n)
+	for i := range out {
+		if i < len(values) {
+			out[i] = values[i]
+		} else {
+			out[i] = "_invalid"
+		}
+	}
+	return out
+}
+
+// CounterFunc registers a callback counter: the value is read at
+// encoding time, so a subsystem that already maintains its own atomic
+// counters (the front cache) exposes them without double accounting.
+// The first registration under a name wins; later ones are ignored.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.lookup(name, help, kindCounterFunc, nil, nil, fn)
+}
+
+// GaugeFunc registers a callback gauge, read at encoding time.
+// The first registration under a name wins; later ones are ignored.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.lookup(name, help, kindGaugeFunc, nil, nil, fn)
+}

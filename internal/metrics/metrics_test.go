@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func text(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Inc()
+	g.Add(10)
+	g.Dec()
+	if got := g.Value(); got != 10 {
+		t.Errorf("gauge = %d, want 10", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Errorf("gauge after Set = %d, want -7", got)
+	}
+
+	// Re-registration under the same name returns the same instrument.
+	if c2 := r.Counter("c_total", "a counter"); c2 != c {
+		t.Error("re-registered counter is a different instrument")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "latency", []float64{1, 0.1, 1, 0.01, math.Inf(1), math.NaN()})
+	var want float64
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, 0.1} {
+		h.Observe(v)
+		want += v
+	}
+	h.Observe(math.NaN()) // dropped
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	out := text(t, r)
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.01"} 1`,
+		`h_seconds_bucket{le="0.1"} 3`, // 0.05, 0.1 — le buckets are inclusive — plus 0.005
+		`h_seconds_bucket{le="1"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVecAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "reason")
+	v.With("queue_full").Inc()
+	v.With("queue_full").Inc()
+	v.With("weird\"va\\lue\n").Inc()
+	v.With().Inc()                // too few values → "_invalid"
+	v.With("client_cap", "extra") // too many → truncated
+	out := text(t, r)
+	for _, want := range []string{
+		`req_total{reason="queue_full"} 2`,
+		`req_total{reason="weird\"va\\lue\n"} 1`,
+		`req_total{reason="_invalid"} 1`,
+		`req_total{reason="client_cap"} 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCardinalityFoldsToOther(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cl_total", "per-client", "client")
+	for i := 0; i < maxChildren+50; i++ {
+		v.With(fmt.Sprintf("client-%05d", i)).Inc()
+	}
+	out := text(t, r)
+	if !strings.Contains(out, `cl_total{client="_other"} 50`+"\n") {
+		t.Errorf("overflow children did not fold into _other:\n%.2000s", out)
+	}
+}
+
+// TestWriteTextDeterministic: two registries reaching the same state
+// through different interleavings and registration orders must encode
+// to identical bytes — the contract GET /metrics inherits.
+func TestWriteTextDeterministic(t *testing.T) {
+	build := func(order []int) *Registry {
+		r := NewRegistry()
+		for _, k := range order {
+			switch k {
+			case 0:
+				r.Counter("a_total", "a").Add(3)
+			case 1:
+				r.Gauge("b", "b").Set(9)
+			case 2:
+				v := r.CounterVec("c_total", "c", "x")
+				v.With("p").Add(1)
+				v.With("q").Add(2)
+			case 3:
+				r.Histogram("d_seconds", "d", []float64{0.5, 1}).Observe(0.7)
+			}
+		}
+		return r
+	}
+	a := text(t, build([]int{0, 1, 2, 3}))
+	b := text(t, build([]int{3, 2, 1, 0}))
+	if a != b {
+		t.Errorf("registration order changed the exposition:\n--- a:\n%s--- b:\n%s", a, b)
+	}
+	if a2 := text(t, build([]int{0, 1, 2, 3})); a2 != a {
+		t.Errorf("same state encoded twice differs:\n--- first:\n%s--- second:\n%s", a, a2)
+	}
+}
+
+func TestFuncCollectors(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.CounterFunc("fc_total", "callback counter", func() int64 { return n })
+	r.GaugeFunc("fg", "callback gauge", func() int64 { return -n })
+	n++
+	out := text(t, r)
+	if !strings.Contains(out, "fc_total 42\n") || !strings.Contains(out, "fg -42\n") {
+		t.Errorf("callback collectors not read at encode time:\n%s", out)
+	}
+	// First registration wins: a second callback under the same name
+	// is ignored rather than replacing the first.
+	r.CounterFunc("fc_total", "other", func() int64 { return 0 })
+	if out := text(t, r); !strings.Contains(out, "fc_total 42\n") {
+		t.Errorf("second CounterFunc registration replaced the first:\n%s", out)
+	}
+}
+
+// TestConflictingRegistrationDetaches: a name reused with a different
+// kind or label set yields a working but unregistered instrument, and
+// the exposition keeps only the first registration.
+func TestConflictingRegistrationDetaches(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "counter").Inc()
+	g := r.Gauge("x_total", "now a gauge?")
+	g.Set(99) // must not panic, must not appear
+	v := r.CounterVec("x_total", "now labeled?", "l")
+	v.With("a").Inc()
+	out := text(t, r)
+	if !strings.Contains(out, "x_total 1\n") {
+		t.Errorf("original counter lost:\n%s", out)
+	}
+	if strings.Contains(out, "99") || strings.Contains(out, `{l="a"}`) {
+		t.Errorf("conflicting registration leaked into the exposition:\n%s", out)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("n_total", "nil registry")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := r.Gauge("ng", "nil")
+	g.Inc()
+	g.Dec()
+	g.Set(5)
+	h := r.Histogram("nh", "nil", nil)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded something")
+	}
+	v := r.CounterVec("nv", "nil", "l")
+	v.With("x").Inc()
+	r.CounterFunc("nf", "nil", func() int64 { return 1 })
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry encoded %q, err %v", b.String(), err)
+	}
+}
+
+// TestConcurrentUpdatesAndScrapes races increments against encodes;
+// run under -race this is the data-race check, and the final state
+// must account for every increment.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "concurrent")
+	h := r.Histogram("ch_seconds", "concurrent", []float64{0.5})
+	v := r.CounterVec("cv_total", "concurrent", "w")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := fmt.Sprintf("w%d", w%3)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i%2) * 0.9)
+				v.With(lbl).Inc()
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WriteText(&b); err != nil {
+						t.Errorf("WriteText: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	out := text(t, r)
+	if !strings.Contains(out, fmt.Sprintf("cc_total %d\n", workers*per)) {
+		t.Errorf("final exposition does not account for every increment:\n%s", out)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "line one\nline \\two")
+	out := text(t, r)
+	if !strings.Contains(out, `# HELP e_total line one\nline \\two`+"\n") {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+}

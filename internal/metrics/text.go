@@ -1,0 +1,217 @@
+package metrics
+
+// The text exposition. WriteText renders the registry in the
+// Prometheus text format (version 0.0.4): families sorted by name,
+// series within a family sorted by rendered label block, numbers
+// formatted by strconv with fixed parameters — so a given registry
+// state encodes to exactly one byte sequence, however it was reached.
+// Both map iterations below are the collect-then-sort shape the
+// detrange analyzer requires of anything that feeds an output stream.
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the text exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family to w in the Prometheus
+// text format. Output is byte-deterministic for a given registry
+// state. Concurrent updates during an encode are safe; each sample is
+// read atomically (a histogram's buckets may be mid-update relative
+// to one another, as in any live scrape).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// typeName is the TYPE line vocabulary per family kind.
+func (k kind) typeName() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// writeText renders one family: HELP and TYPE comments, then its
+// series sorted by label block.
+func (f *family) writeText(b *strings.Builder) {
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.kind.typeName())
+	b.WriteByte('\n')
+
+	if f.fn != nil {
+		writeSample(b, f.name, "", f.fn())
+		return
+	}
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for key := range f.children {
+		keys = append(keys, key)
+	}
+	kids := make([]any, len(keys))
+	for i, key := range keys {
+		kids[i] = f.children[key]
+	}
+	f.mu.Unlock()
+	// Sort series by rendered label block; carry the children along so
+	// the encode below never touches the live map.
+	sort.Sort(&byKey{keys: keys, kids: kids})
+
+	for i, key := range keys {
+		switch c := kids[i].(type) {
+		case *Counter:
+			writeSample(b, f.name, key, c.Value())
+		case *Gauge:
+			writeSample(b, f.name, key, c.Value())
+		case *Histogram:
+			writeHistogram(b, f.name, key, c)
+		}
+	}
+}
+
+// byKey sorts a (label-block, child) pair slice by label block.
+type byKey struct {
+	keys []string
+	kids []any
+}
+
+func (s *byKey) Len() int           { return len(s.keys) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.kids[i], s.kids[j] = s.kids[j], s.kids[i]
+}
+
+// writeSample renders one integer-valued series line.
+func writeSample(b *strings.Builder, name, labelBlock string, v int64) {
+	b.WriteString(name)
+	b.WriteString(labelBlock)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(v, 10))
+	b.WriteByte('\n')
+}
+
+// writeHistogram renders one histogram series: the cumulative
+// _bucket lines (le-labeled), then _sum and _count.
+func writeHistogram(b *strings.Builder, name, labelBlock string, h *Histogram) {
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		b.WriteString(withLabel(labelBlock, "le", le))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(labelBlock)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(labelBlock)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(cum, 10))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a float deterministically (shortest exact form).
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders a label block `{a="x",b="y"}` from parallel
+// name/value lists; no labels render as the empty string. The block
+// doubles as the child's map key, so sorting keys sorts series.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLabel appends one label to an existing block (used for the
+// histogram le label).
+func withLabel(block, name, value string) string {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if block == "" {
+		return "{" + pair + "}"
+	}
+	return block[:len(block)-1] + "," + pair + "}"
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP text per the text format: backslash and
+// newline.
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}

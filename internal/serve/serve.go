@@ -27,6 +27,7 @@ import (
 
 	"storagesched/internal/cache"
 	"storagesched/internal/engine"
+	"storagesched/internal/metrics"
 	"storagesched/internal/refine"
 	"storagesched/internal/shard"
 )
@@ -49,6 +50,14 @@ type SessionConfig struct {
 	// (and safe for their concurrency), it is what makes a warm daemon
 	// answer repeated requests without recomputing.
 	Cache *cache.Cache
+
+	// Metrics, when non-nil, is the registry the session instruments:
+	// sweep/item counters and the sweep wall-time histogram at the
+	// session level, the sched_engine_* families for every batch the
+	// session runs, and the sched_cache_* families when Cache is set.
+	// Nil disables instrumentation; the JSONL output is byte-identical
+	// either way.
+	Metrics *metrics.Registry
 }
 
 // Session is one long-lived sweep execution context: the pool
@@ -60,18 +69,24 @@ type Session struct {
 	workers int
 	cache   *cache.Cache
 	pool    *engine.Pool
+	reg     *metrics.Registry
+	met     *sessionMetrics
+	engMet  *engine.Metrics
 }
 
 // NewSession builds a session; close it with Close when done (a
 // must for resident sessions, a no-op otherwise).
 func NewSession(cfg SessionConfig) *Session {
-	s := &Session{workers: cfg.Workers, cache: cfg.Cache}
+	s := &Session{workers: cfg.Workers, cache: cfg.Cache, reg: cfg.Metrics}
 	if s.workers <= 0 {
 		s.workers = runtime.NumCPU()
 	}
 	if cfg.Resident {
 		s.pool = engine.NewPool(s.workers)
 	}
+	s.met = newSessionMetrics(s.reg)
+	s.engMet = engine.NewMetrics(s.reg)
+	s.cache.RegisterMetrics(s.reg)
 	return s
 }
 
@@ -81,6 +96,11 @@ func (s *Session) Workers() int { return s.workers }
 // Cache returns the session's front cache (nil when caching is off) —
 // the daemon's statistics endpoint reads counters from it.
 func (s *Session) Cache() *cache.Cache { return s.cache }
+
+// Registry returns the session's metrics registry (nil when
+// instrumentation is off) — the daemon's /metrics endpoint and the
+// CLI's -stats flag encode it.
+func (s *Session) Registry() *metrics.Registry { return s.reg }
 
 // Close releases the resident pool, if any: queued jobs finish and the
 // workers exit. Callers must quiesce Sweep calls first; a draining
@@ -185,6 +205,8 @@ func (s *Session) Sweep(ctx context.Context, items iter.Seq2[engine.BatchItem, s
 	if err := spec.Validate(); err != nil {
 		return st, err
 	}
+	s.met.sweepStarted()
+	t0 := s.met.clockStart()
 	bcfg := engine.BatchConfig{
 		Config: engine.Config{
 			Deltas:  spec.Deltas,
@@ -195,6 +217,7 @@ func (s *Session) Sweep(ctx context.Context, items iter.Seq2[engine.BatchItem, s
 		MaxPending: spec.MaxPending,
 		Cache:      s.cache,
 		Pool:       s.pool,
+		Metrics:    s.engMet,
 	}
 	tagged := taggedItems(items)
 	emit := frontLineEmitter(w, &st)
@@ -224,5 +247,6 @@ func (s *Session) Sweep(ctx context.Context, items iter.Seq2[engine.BatchItem, s
 	default:
 		err = engine.SweepBatch(ctx, tagged, bcfg, emit)
 	}
+	s.met.sweepDone(st, err, t0)
 	return st, err
 }

@@ -10,9 +10,13 @@ package serve
 // queued without bound.
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -22,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"storagesched/internal/metrics"
 	"storagesched/internal/refine"
 	"storagesched/internal/shard"
 )
@@ -58,17 +63,28 @@ type ServerConfig struct {
 	// RetryAfter is the hint returned with 429 responses; 0 means
 	// DefaultRetryAfter.
 	RetryAfter time.Duration
+
+	// AccessLog, when non-nil, receives one structured line per
+	// finished request: id, method, path, client, status, bytes,
+	// duration. The daemon wires a JSON handler here (JSONL on stderr);
+	// nil disables access logging.
+	AccessLog *slog.Logger
 }
 
 // Server is the HTTP front end over a Session. Construct with
 // NewServer; it implements http.Handler.
 type Server struct {
-	session  *Session
-	mux      *http.ServeMux
-	adm      *admission
-	maxBody  int64
-	retry    time.Duration
-	draining atomic.Bool
+	session   *Session
+	mux       *http.ServeMux
+	adm       *admission
+	maxBody   int64
+	retry     time.Duration
+	draining  atomic.Bool
+	reg       *metrics.Registry
+	met       *serverMetrics
+	accessLog *slog.Logger
+	bootID    string
+	reqSeq    atomic.Uint64
 }
 
 // NewServer wraps the session with the HTTP API. The server does not
@@ -103,25 +119,115 @@ func NewServer(session *Session, cfg ServerConfig) *Server {
 			maxPerClient: cfg.MaxPerClient,
 			perClient:    make(map[string]int),
 		},
-		maxBody: cfg.MaxBodyBytes,
-		retry:   cfg.RetryAfter,
+		maxBody:   cfg.MaxBodyBytes,
+		retry:     cfg.RetryAfter,
+		accessLog: cfg.AccessLog,
 	}
+	s.reg = session.Registry()
+	if s.reg == nil {
+		// /metrics always answers; without a session registry it shows
+		// the HTTP-boundary families only.
+		s.reg = metrics.NewRegistry()
+	}
+	s.met = newServerMetrics(s.reg)
+	var boot [4]byte
+	rand.Read(boot[:])
+	s.bootID = hex.EncodeToString(boot[:])
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// RequestIDHeader carries the server-assigned request ID: a header on
+// every response, and additionally a trailer on /v1/sweep (where the
+// header copy is withdrawn so the ID rides the stream's tail next to
+// X-Sweep-Error).
+const RequestIDHeader = "X-Request-ID"
+
+// requestIDKey carries the request ID through the request context.
+type requestIDKey struct{}
+
+// requestIDFrom extracts the middleware-assigned request ID.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// nextRequestID mints a process-unique request ID: a random boot
+// prefix (so IDs from different daemon runs never collide in
+// aggregated logs) plus a monotone sequence number.
+func (s *Server) nextRequestID() string {
+	return s.bootID + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+}
+
+// logResponseWriter observes status and body bytes for the access
+// log. Unwrap keeps http.ResponseController controls (flush, full
+// duplex) working through the wrapper.
+type logResponseWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (lw *logResponseWriter) WriteHeader(code int) {
+	if lw.status == 0 {
+		lw.status = code
+	}
+	lw.ResponseWriter.WriteHeader(code)
+}
+
+func (lw *logResponseWriter) Write(p []byte) (int, error) {
+	if lw.status == 0 {
+		lw.status = http.StatusOK
+	}
+	n, err := lw.ResponseWriter.Write(p)
+	lw.bytes += int64(n)
+	return n, err
+}
+
+func (lw *logResponseWriter) Unwrap() http.ResponseWriter { return lw.ResponseWriter }
+
+// ServeHTTP implements http.Handler: it assigns the request ID,
+// dispatches, and writes the access-log line.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := s.nextRequestID()
+	w.Header().Set(RequestIDHeader, id)
+	r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+	if s.accessLog == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	lw := &logResponseWriter{ResponseWriter: w}
+	t0 := time.Now()
+	s.mux.ServeHTTP(lw, r)
+	status := lw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	s.accessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("client", clientKey(r)),
+		slog.Int("status", status),
+		slog.Int64("bytes", lw.bytes),
+		slog.Duration("duration", time.Since(t0)),
+	)
+}
 
 // BeginDrain stops admitting sweeps: /readyz flips to 503 so load
 // balancers stop routing here, new sweeps are refused with 503, and
 // in-flight sweeps run to completion (waited on by http.Server
 // Shutdown, not here).
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.met.drained()
+	}
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -133,6 +239,10 @@ const (
 	TrailerFailed    = "X-Sweep-Failed"
 	TrailerCacheHits = "X-Sweep-Cache-Hits"
 	TrailerError     = "X-Sweep-Error"
+
+	// TrailerRequestID is RequestIDHeader delivered as a trailer on
+	// the streamed sweep response (see RequestIDHeader).
+	TrailerRequestID = RequestIDHeader
 )
 
 // admission is the bounded two-stage gate in front of the session: a
@@ -297,12 +407,14 @@ type flushWriter struct {
 	w     http.ResponseWriter
 	rc    *http.ResponseController
 	wrote bool
+	bytes int64
 }
 
 func (fw *flushWriter) Write(p []byte) (int, error) {
 	n, err := fw.w.Write(p)
 	if n > 0 {
 		fw.wrote = true
+		fw.bytes += int64(n)
 	}
 	if err != nil {
 		return n, err
@@ -318,7 +430,9 @@ func (fw *flushWriter) Write(p []byte) (int, error) {
 // item. The bytes match `schedcli sweepbatch` on the same input; the
 // totals arrive as trailers.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	client := clientKey(r)
 	if s.draining.Load() {
+		s.met.refused(RefusalDraining, client)
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -328,8 +442,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	client := clientKey(r)
 	if err := s.adm.hold(client); err != nil {
+		reason := RefusalQueueFull
+		if errors.Is(err, errClientFull) {
+			reason = RefusalClientCap
+		}
+		s.met.refused(reason, client)
 		s.reject(w, err)
 		return
 	}
@@ -337,16 +455,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	// Wait for a run slot; a client that gives up while queued frees
 	// its hold without running.
+	wait0 := s.met.slotWaitStart()
 	select {
 	case s.adm.slots <- struct{}{}:
 		defer func() { <-s.adm.slots }()
 	case <-r.Context().Done():
 		return
 	}
+	s.met.admitted(wait0)
+	var streamed int64
+	defer func() { s.met.finished(streamed) }()
 
+	id := requestIDFrom(r.Context())
 	h := w.Header()
+	// The ID rides the stream's tail: withdraw the middleware's header
+	// copy so it appears exactly once, as a trailer.
+	h.Del(RequestIDHeader)
 	h.Set("Content-Type", "application/jsonl; charset=utf-8")
-	h.Set("Trailer", TrailerItems+", "+TrailerFailed+", "+TrailerCacheHits+", "+TrailerError)
+	h.Set("Trailer", TrailerItems+", "+TrailerFailed+", "+TrailerCacheHits+", "+TrailerError+", "+TrailerRequestID)
 
 	// The sweep is a streaming pipeline: front lines go out while later
 	// request-body items are still being decoded. Without full duplex
@@ -361,18 +487,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	fw := &flushWriter{w: w, rc: rc}
 	items := DecodeItems("body", http.MaxBytesReader(w, r.Body, s.maxBody), nil)
 	st, serr := s.session.Sweep(r.Context(), items, spec, fw)
+	streamed = fw.bytes
 
 	if serr != nil && !fw.wrote {
-		// Nothing streamed yet — a real error status is still possible.
+		// Nothing streamed yet — a real error status is still
+		// possible, and the ID returns to its header position.
+		h.Set(RequestIDHeader, id)
 		http.Error(w, serr.Error(), http.StatusInternalServerError)
 		return
 	}
 	h.Set(TrailerItems, strconv.Itoa(st.Items))
 	h.Set(TrailerFailed, strconv.Itoa(st.Failed))
 	h.Set(TrailerCacheHits, strconv.Itoa(st.CacheHits))
-	if serr != nil {
-		h.Set(TrailerError, serr.Error())
+	h.Set(TrailerRequestID, id)
+	switch {
+	case serr != nil:
+		h.Set(TrailerError, "request "+id+": "+serr.Error())
+	case st.Failed > 0:
+		// No fatal error, but some items carried per-item errors: the
+		// trailer summarizes so a client that discards line bodies
+		// still learns the stream was not clean, and which request to
+		// grep in the access log.
+		h.Set(TrailerError, fmt.Sprintf("request %s: %d of %d items failed", id, st.Failed, st.Items))
 	}
+}
+
+// handleMetrics is GET /metrics: the Prometheus text exposition of the
+// server's registry — session, engine and cache families when the
+// session carries a registry, plus the HTTP-boundary families. The
+// encoding is byte-deterministic for a given state, so scrapes diff
+// cleanly.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	s.reg.WriteText(w)
 }
 
 // handleCacheStats is GET /v1/cache/stats: a JSON snapshot of the

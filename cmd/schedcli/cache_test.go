@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCacheRejectsBadInputs(t *testing.T) {
+	if err := runCache(nil, os.Stdout); err == nil {
+		t.Error("missing verb accepted")
+	}
+	if err := runCache([]string{"bogus"}, os.Stdout); err == nil {
+		t.Error("unknown verb accepted")
+	}
+	for _, verb := range []string{"stats", "gc", "verify"} {
+		if err := runCache([]string{verb}, os.Stdout); err == nil {
+			t.Errorf("%s without -dir accepted", verb)
+		}
+	}
+}
+
+// captureStderr redirects os.Stderr around fn and returns what was
+// written (the cache summary and shard summaries go there, keeping
+// stdout byte-deterministic).
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	defer func() {
+		os.Stderr = old
+	}()
+	fn()
+	w.Close()
+	os.Stderr = old
+	return <-done
+}
+
+// The acceptance scenario: a cache directory accumulating sweeps,
+// stale put-*.tmp orphans from a crashed writer and one corrupted
+// entry. verify deletes exactly the garbage entry, gc collects the
+// orphans and brings the tier under the size cap, and a warm sweep
+// over the survivors still hits — with output byte-identical to the
+// cold run.
+func TestCacheLifecycleAcceptance(t *testing.T) {
+	dir := mixedDir(t, false)
+	cacheDir := filepath.Join(t.TempDir(), "fronts")
+
+	cold, err := sweepDir(t, dir, "-cache-dir", cacheDir)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil || len(entries) < 2 {
+		t.Fatalf("want >= 2 cache entries, got %d (err=%v)", len(entries), err)
+	}
+
+	// A crashed writer's leavings and one rotten entry.
+	stale := filepath.Join(cacheDir, "put-crashed.tmp")
+	if err := os.WriteFile(stale, []byte("torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	long := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, long, long); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], []byte("not a cached front"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stats strings.Builder
+	if err := runCache([]string{"stats", "-dir", cacheDir}, &stats); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if want := fmt.Sprintf("entries: %d\n", len(entries)); !strings.Contains(stats.String(), want) {
+		t.Errorf("stats output missing %q:\n%s", want, stats.String())
+	}
+
+	var verify strings.Builder
+	if err := runCache([]string{"verify", "-dir", cacheDir}, &verify); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(verify.String(), "removed 1 garbage entries") {
+		t.Errorf("verify did not remove exactly the corrupted entry:\n%s", verify.String())
+	}
+	if _, err := os.Stat(entries[0]); err == nil {
+		t.Error("corrupted entry still present after verify")
+	}
+
+	var gc strings.Builder
+	if err := runCache([]string{"gc", "-dir", cacheDir, "-max-bytes", "1"}, &gc); err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if !strings.Contains(gc.String(), "removed 1 orphaned tmp files") {
+		t.Errorf("gc did not collect the stale tmp:\n%s", gc.String())
+	}
+	if _, err := os.Stat(stale); err == nil {
+		t.Error("stale tmp still present after gc")
+	}
+	if !strings.Contains(gc.String(), "live: 0 entries (0 bytes)") {
+		t.Errorf("a 1-byte cap should evict every entry:\n%s", gc.String())
+	}
+
+	// The golden byte-equality contract: gc evicted everything, so the
+	// next run recomputes — and must still emit the cold bytes.
+	rebuilt, err := sweepDir(t, dir, "-cache-dir", cacheDir)
+	if err != nil {
+		t.Fatalf("rebuilt: %v", err)
+	}
+	if rebuilt != cold {
+		t.Errorf("output differs after gc evicted the cache:\ngot:\n%s\nwant:\n%s", rebuilt, cold)
+	}
+
+	// A generous cap keeps everything; the warm run hits every entry.
+	var gc2 strings.Builder
+	if err := runCache([]string{"gc", "-dir", cacheDir, "-max-bytes", "100000000"}, &gc2); err != nil {
+		t.Fatalf("gc2: %v", err)
+	}
+	if !strings.Contains(gc2.String(), "evicted 0 by age, 0 by size") {
+		t.Errorf("generous cap evicted entries:\n%s", gc2.String())
+	}
+	var warm string
+	stderr := captureStderr(t, func() {
+		warm, err = sweepDir(t, dir, "-cache-dir", cacheDir)
+	})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if warm != cold {
+		t.Error("warm output differs from cold after a non-evicting gc")
+	}
+	if !strings.Contains(stderr, "cache") || strings.Contains(stderr, "cache 0 hits") {
+		t.Errorf("warm run after non-evicting gc reported no hits:\n%s", stderr)
+	}
+}
+
+// gc with an age cap evicts by mtime, oldest first, without touching
+// fresh entries — driven through the CLI flags.
+func TestCacheGCMaxAgeFlag(t *testing.T) {
+	dir := mixedDir(t, false)
+	cacheDir := filepath.Join(t.TempDir(), "fronts")
+	if _, err := sweepDir(t, dir, "-cache-dir", cacheDir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil || len(entries) < 2 {
+		t.Fatalf("want >= 2 entries, got %d", len(entries))
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(entries[0], old, old); err != nil {
+		t.Fatal(err)
+	}
+	var gc strings.Builder
+	if err := runCache([]string{"gc", "-dir", cacheDir, "-max-age", "24h"}, &gc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gc.String(), "evicted 1 by age") {
+		t.Errorf("age cap evicted the wrong count:\n%s", gc.String())
+	}
+	if _, err := os.Stat(entries[0]); err == nil {
+		t.Error("aged entry survived -max-age")
+	}
+	if _, err := os.Stat(entries[1]); err != nil {
+		t.Error("fresh entry evicted by -max-age")
+	}
+}

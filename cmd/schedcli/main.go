@@ -56,6 +56,16 @@
 //	schedcli shard plan -in instances/ -shards 4 -policy hash -out-dir plans/
 //	schedcli shard merge -plan plans/plan.json -out fronts.jsonl s0.jsonl s1.jsonl s2.jsonl s3.jsonl
 //	schedcli shard exec -in instances/ -shards 4 -out fronts.jsonl
+//
+// The cache subcommand maintains a front-cache directory: stats lists
+// what the persistent tier holds, gc runs one lifecycle sweep (size
+// and age caps with deterministic oldest-first eviction, orphaned-tmp
+// collection), and verify decodes every entry with the engine's
+// cached-front decoder and deletes garbage:
+//
+//	schedcli cache stats -dir ~/.sweepcache
+//	schedcli cache gc -dir ~/.sweepcache -max-bytes 100000000 -max-age 720h
+//	schedcli cache verify -dir ~/.sweepcache
 package main
 
 import (
@@ -92,6 +102,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "shard" {
 		if err := runShard(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "schedcli: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cache" {
+		if err := runCache(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "schedcli: %v\n", err)
 			os.Exit(1)
 		}

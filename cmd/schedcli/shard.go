@@ -19,22 +19,84 @@ package main
 // sweepbatch subprocess per shard.
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	sched "storagesched"
 	"storagesched/internal/serve"
 	"storagesched/internal/shard"
 )
+
+// tailWriter retains the last max bytes written through it — enough of
+// a shard subprocess's stderr to attach as a hint when it fails.
+type tailWriter struct {
+	mu  sync.Mutex
+	buf []byte
+	max int
+}
+
+func (t *tailWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.max {
+		t.buf = t.buf[len(t.buf)-t.max:]
+	}
+	return len(p), nil
+}
+
+// stderrHint renders the last non-empty stderr line as an error
+// suffix, or nothing when the subprocess was silent.
+func stderrHint(t *tailWriter) string {
+	t.mu.Lock()
+	tail := strings.TrimSpace(string(t.buf))
+	t.mu.Unlock()
+	if tail == "" {
+		return ""
+	}
+	if i := strings.LastIndexByte(tail, '\n'); i >= 0 {
+		tail = strings.TrimSpace(tail[i+1:])
+	}
+	return " (stderr: " + tail + ")"
+}
+
+// countOutputLines counts the non-empty lines of a shard's JSONL
+// output — zero with items planned means the subprocess died before
+// writing anything, a shard-level failure rather than item failures.
+func countOutputLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		// The subprocess died before creating its output at all.
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	n := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			n++
+		}
+	}
+	return n, sc.Err()
+}
 
 func runShard(args []string, w io.Writer) error {
 	if len(args) < 1 {
@@ -185,11 +247,11 @@ func readPlan(path string) (*shard.Plan, []string, error) {
 		if it.Index != i {
 			return nil, nil, fmt.Errorf("shard: plan %s item %d has index %d (must be dense and ordered)", path, i, it.Index)
 		}
-		if it.Shard < 0 || it.Shard >= pf.Shards {
-			return nil, nil, fmt.Errorf("shard: plan %s item %d on shard %d, want [0,%d)", path, i, it.Shard, pf.Shards)
-		}
 		plan.Shards[i] = it.Shard
 		names[i] = it.Source
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("shard: plan %s: %w", path, err)
 	}
 	return plan, names, nil
 }
@@ -326,11 +388,14 @@ func runShardExec(args []string, w io.Writer) error {
 	}
 
 	// One sweepbatch subprocess per shard, concurrently. Stderr passes
-	// through; an item-failure exit (the subprocess still wrote its
+	// through (with a bounded tail retained per shard, for failure
+	// hints); an item-failure exit (the subprocess still wrote its
 	// error lines) does not abort the merge, matching unsharded
 	// behavior where bad items fail alone.
 	shardFiles := make([]string, plan.K)
 	cmdErrs := make([]error, plan.K)
+	elapsed := make([]time.Duration, plan.K)
+	tails := make([]*tailWriter, plan.K)
 	var wg sync.WaitGroup
 	for s := 0; s < plan.K; s++ {
 		shardFiles[s] = filepath.Join(dir, "shard-"+strconv.Itoa(s)+".jsonl")
@@ -352,26 +417,46 @@ func runShardExec(args []string, w io.Writer) error {
 		if *cacheDir != "" {
 			sargs = append(sargs, "-cache-dir", *cacheDir)
 		}
+		tails[s] = &tailWriter{max: 4096}
 		wg.Add(1)
 		go func(s int, sargs []string) {
 			defer wg.Done()
 			cmd := exec.Command(*bin, sargs...)
-			cmd.Stderr = os.Stderr
+			cmd.Stderr = io.MultiWriter(os.Stderr, tails[s])
+			start := time.Now()
 			cmdErrs[s] = cmd.Run()
+			elapsed[s] = time.Since(start)
 		}(s, sargs)
 	}
 	wg.Wait()
+
+	// Classify each shard's exit before merging. A nonzero exit whose
+	// output still covers the shard's items means per-item failures —
+	// those ride in the output lines and surface after the merge, like
+	// an unsharded batch. A signal kill or an exit that wrote nothing
+	// is a shard-level failure: merging would only report "output ended
+	// before item N" and mask the real cause, so report the status and
+	// the stderr tail instead. Either way the per-shard summary line —
+	// items, outcome, wall clock — goes to stderr so the merged JSONL
+	// on stdout stays byte-identical to an unsharded sweep.
+	counts := plan.Counts()
 	for s, err := range cmdErrs {
 		if err == nil {
+			fmt.Fprintf(os.Stderr, "shard %d: %d items ok in %s\n", s, counts[s], elapsed[s].Round(time.Millisecond))
 			continue
 		}
 		var exitErr *exec.ExitError
-		if errors.As(err, &exitErr) {
-			// The subprocess ran and exited nonzero — per-item failures
-			// ride in its output lines and surface after the merge.
-			continue
+		if !errors.As(err, &exitErr) {
+			return fmt.Errorf("shard exec: shard %d: %w", s, err)
 		}
-		return fmt.Errorf("shard exec: shard %d: %w", s, err)
+		if exitErr.ExitCode() == -1 {
+			return fmt.Errorf("shard exec: shard %d killed by a signal (%v)%s", s, exitErr, stderrHint(tails[s]))
+		}
+		if n, cerr := countOutputLines(shardFiles[s]); cerr == nil && n == 0 && counts[s] > 0 {
+			return fmt.Errorf("shard exec: shard %d wrote no output (exit status %d)%s", s, exitErr.ExitCode(), stderrHint(tails[s]))
+		}
+		fmt.Fprintf(os.Stderr, "shard %d: %d items, exit status %d (per-item failures ride in the output) in %s\n",
+			s, counts[s], exitErr.ExitCode(), elapsed[s].Round(time.Millisecond))
 	}
 
 	out := w

@@ -269,13 +269,21 @@ func TestShardExecSubprocesses(t *testing.T) {
 		t.Fatal(err)
 	}
 	merged := filepath.Join(t.TempDir(), "merged.jsonl")
-	err = runShard([]string{"exec",
-		"-in", dir, "-shards", "2", "-policy", "hash",
-		"-out", merged, "-bin", bin,
-		"-dmin", "0.5", "-dmax", "8", "-points", "6",
-	}, os.Stdout)
+	stderr := captureStderr(t, func() {
+		err = runShard([]string{"exec",
+			"-in", dir, "-shards", "2", "-policy", "hash",
+			"-out", merged, "-bin", bin,
+			"-dmin", "0.5", "-dmax", "8", "-points", "6",
+		}, os.Stdout)
+	})
 	if err != nil {
 		t.Fatalf("exec: %v", err)
+	}
+	// Each shard reports its item count and wall clock on stderr.
+	for s := 0; s < 2; s++ {
+		if !strings.Contains(stderr, fmt.Sprintf("shard %d: ", s)) || !strings.Contains(stderr, " items ok in ") {
+			t.Errorf("missing per-shard summary for shard %d:\n%s", s, stderr)
+		}
 	}
 	got, err := os.ReadFile(merged)
 	if err != nil {
@@ -283,5 +291,80 @@ func TestShardExecSubprocesses(t *testing.T) {
 	}
 	if string(got) != want {
 		t.Errorf("exec-merged output differs from unsharded:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// writeFakeBin materializes an executable shell script standing in for
+// the schedcli binary, so exit classification is tested without a build.
+func writeFakeBin(t *testing.T, script string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "fakecli")
+	if err := os.WriteFile(bin, []byte("#!/bin/sh\n"+script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// The exit-classification satellite: a subprocess that dies without
+// writing output is a shard-level failure reported with its exit
+// status and a stderr hint — not mislabelled as per-item failures and
+// not left to surface as an opaque merge error.
+func TestShardExecClassifiesSilentExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := writeInstanceDir(t, 2)
+	bin := writeFakeBin(t, `echo "boom: disk full" >&2; exit 3`)
+	err := runShard([]string{"exec", "-in", dir, "-shards", "2", "-policy", "rr", "-bin", bin}, io.Discard)
+	if err == nil {
+		t.Fatal("silent nonzero exit reported success")
+	}
+	for _, want := range []string{"exit status 3", "wrote no output", "boom: disk full"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestShardExecClassifiesSignalKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := writeInstanceDir(t, 2)
+	bin := writeFakeBin(t, `echo "going down" >&2; kill -KILL $$`)
+	err := runShard([]string{"exec", "-in", dir, "-shards", "2", "-policy", "rr", "-bin", bin}, io.Discard)
+	if err == nil {
+		t.Fatal("signal-killed subprocess reported success")
+	}
+	for _, want := range []string{"killed by a signal", "going down"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// A nonzero exit whose output still covers the shard's items keeps the
+// old behavior: the per-item error lines merge and surface afterwards.
+func TestShardExecItemFailuresStillMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := writeInstanceDir(t, 2)
+	// The fake bin writes one (bogus) line per planned item, then fails
+	// like sweepbatch does when items failed. Parse -in/-out by position:
+	// args are: sweepbatch -in LIST -out OUT ...
+	bin := writeFakeBin(t, `
+list=$3; out=$5
+: > "$out"
+while read -r src; do
+  printf '{"index":0,"source":"%s","error":"injected"}\n' "$src" >> "$out"
+done < "$list"
+exit 1`)
+	err := runShard([]string{"exec", "-in", dir, "-shards", "2", "-policy", "rr", "-bin", bin}, io.Discard)
+	if err == nil {
+		t.Fatal("per-item failures reported success")
+	}
+	if !strings.Contains(err.Error(), "2 of 2 items failed") {
+		t.Errorf("error %q, want the merged per-item failure summary", err)
 	}
 }

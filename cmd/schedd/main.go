@@ -19,8 +19,16 @@
 // plus one access line per finished request, carrying the same request
 // ID the response returns as X-Request-ID.
 //
+// With -cache-dir the daemon also runs the cache lifecycle: one gc
+// sweep at startup and one per -cache-gc-interval, enforcing the
+// -cache-max-bytes size cap (deterministic oldest-first eviction) and
+// the -cache-max-age age cap, and collecting put-*.tmp orphans left by
+// crashed writers. Sweeps are logged and counted in the
+// sched_cache_gc_* metric families.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops admitting
-// sweeps, finishes those in flight, then releases the pool and exits 0.
+// sweeps, finishes those in flight, stops the gc ticker, then releases
+// the pool and exits 0.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"storagesched/internal/cache"
 	"storagesched/internal/metrics"
 	"storagesched/internal/serve"
 )
@@ -59,6 +68,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	workers := fs.Int("workers", 0, "resident pool size (0 = one per CPU)")
 	cacheDir := fs.String("cache-dir", "", "content-addressed front cache directory (disk tier)")
 	cacheMem := fs.Int("cache-mem", 0, "front cache memory-tier entries (0 = default when caching; < 0 = disk-only)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "persistent cache tier size cap enforced by the gc sweep (0 = unbounded)")
+	cacheMaxAge := fs.Duration("cache-max-age", 0, "evict cache entries last written longer than this ago (0 = unbounded)")
+	cacheGCInterval := fs.Duration("cache-gc-interval", 5*time.Minute, "background cache gc period; 0 disables the sweep")
 	maxConcurrent := fs.Int("max-concurrent", serve.DefaultMaxConcurrent, "sweeps running at once")
 	maxQueue := fs.Int("max-queue", serve.DefaultMaxQueue, "sweeps queued beyond -max-concurrent before 429 (-1 = none)")
 	maxPerClient := fs.Int("max-per-client", serve.DefaultMaxPerClient, "one client's sweeps in flight before 429 (-1 = no cap)")
@@ -72,9 +84,24 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	logh := slog.NewJSONHandler(logw, nil)
 	logger := slog.New(logh)
 
-	fcache, err := serve.OpenCache(*cacheDir, *cacheMem)
-	if err != nil {
-		return err
+	if (*cacheMaxBytes != 0 || *cacheMaxAge != 0) && *cacheDir == "" {
+		return fmt.Errorf("-cache-max-bytes/-cache-max-age need -cache-dir (only the persistent tier has a lifecycle)")
+	}
+	// Like serve.OpenCache, but carrying the lifecycle caps so the
+	// background sweep (and any `schedcli cache gc` run with a zero
+	// policy against this cache) enforces them.
+	var fcache *cache.Cache
+	if *cacheDir != "" || *cacheMem != 0 {
+		c, err := cache.New(cache.Config{
+			Dir:        *cacheDir,
+			MemEntries: *cacheMem,
+			MaxBytes:   *cacheMaxBytes,
+			MaxAge:     *cacheMaxAge,
+		})
+		if err != nil {
+			return err
+		}
+		fcache = c
 	}
 	session := serve.NewSession(serve.SessionConfig{
 		Workers:  *workers,
@@ -121,6 +148,44 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
+
+	// Background cache gc: one sweep at start (collecting whatever a
+	// previous process left behind), then one per -cache-gc-interval.
+	// The zero GCPolicy resolves to the -cache-max-* caps carried by
+	// the cache config. The sweep runs safely against in-flight sweeps
+	// — an evicted entry is just a future miss — and is stopped after
+	// the HTTP drain, before the session releases the pool.
+	stopGC := func() {}
+	if fcache != nil && *cacheDir != "" && *cacheGCInterval > 0 {
+		gcDone := make(chan struct{})
+		gcStopped := make(chan struct{})
+		go func() {
+			defer close(gcStopped)
+			ticker := time.NewTicker(*cacheGCInterval)
+			defer ticker.Stop()
+			for {
+				if res, err := fcache.GC(cache.GCPolicy{}); err != nil {
+					logger.Warn("cache gc failed", "err", err.Error())
+				} else {
+					logger.Info("cache gc",
+						"scanned", res.Scanned,
+						"evicted_age", res.EvictedAge,
+						"evicted_size", res.EvictedSize,
+						"evicted_bytes", res.EvictedBytes,
+						"tmp_removed", res.TmpRemoved,
+						"live", res.Live,
+						"live_bytes", res.LiveBytes)
+				}
+				select {
+				case <-ticker.C:
+				case <-gcDone:
+					return
+				}
+			}
+		}()
+		stopGC = func() { close(gcDone); <-gcStopped }
+	}
+	defer stopGC()
 
 	// Serve until signalled; then drain: stop admitting, finish
 	// in-flight sweeps (bounded by -drain-timeout), release the pool.

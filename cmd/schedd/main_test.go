@@ -336,3 +336,100 @@ func TestScheddLifecycle(t *testing.T) {
 		t.Errorf("drain exit: %v", err)
 	}
 }
+
+// TestScheddCacheGC: the daemon's background lifecycle sweep collects
+// a crashed writer's stale tmp, evicts a planted garbage entry past
+// the age cap, and surfaces all of it in the sched_cache_gc_* metric
+// families and the /v1/cache/stats snapshot.
+func TestScheddCacheGC(t *testing.T) {
+	cacheDir := t.TempDir()
+	long := time.Now().Add(-2 * time.Hour)
+
+	// A crashed writer's leavings: a stale tmp (default 1h cutoff) and
+	// an aged garbage entry the -cache-max-age cap must evict.
+	stale := filepath.Join(cacheDir, "put-crashed.tmp")
+	if err := os.WriteFile(stale, []byte("torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	aged := filepath.Join(cacheDir, strings.Repeat("ab", 32)+".json")
+	if err := os.WriteFile(aged, []byte("old entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{stale, aged} {
+		if err := os.Chtimes(name, long, long); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	base, shutdown := startDaemon(t,
+		"-cache-dir", cacheDir,
+		"-cache-max-age", "1h",
+		"-cache-gc-interval", "1h") // the startup sweep is the one under test
+
+	// The startup sweep runs asynchronously; poll the stats endpoint.
+	deadline := time.Now().Add(10 * time.Second)
+	var js struct {
+		GCRuns       int64 `json:"gc_runs"`
+		GCEvictions  int64 `json:"gc_evictions"`
+		GCTmpRemoved int64 `json:"gc_tmp_removed"`
+	}
+	for {
+		resp, err := http.Get(base + "/v1/cache/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&js)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.GCRuns > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if js.GCRuns == 0 {
+		t.Fatal("startup gc sweep never ran")
+	}
+	if js.GCTmpRemoved != 1 {
+		t.Errorf("gc_tmp_removed = %d, want 1", js.GCTmpRemoved)
+	}
+	if js.GCEvictions != 1 {
+		t.Errorf("gc_evictions = %d, want 1 (the aged entry)", js.GCEvictions)
+	}
+	if _, err := os.Stat(stale); err == nil {
+		t.Error("stale tmp survived the startup sweep")
+	}
+	if _, err := os.Stat(aged); err == nil {
+		t.Error("aged entry survived -cache-max-age")
+	}
+
+	// The families are on /metrics too.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"sched_cache_gc_runs_total",
+		"sched_cache_gc_tmp_removed_total 1",
+		"sched_cache_gc_evicted_entries_total 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestScheddRejectsCapsWithoutDir: lifecycle caps without a persistent
+// tier are a configuration error, not a silent no-op.
+func TestScheddRejectsCapsWithoutDir(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-cache-max-bytes", "1000"}, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "-cache-dir") {
+		t.Errorf("caps without -cache-dir: err = %v, want a -cache-dir error", err)
+	}
+}

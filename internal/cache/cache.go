@@ -5,7 +5,9 @@
 // machines. This package gives every work item a canonical byte
 // serialization, addresses cached values by the SHA-256 of those bytes
 // plus a configuration fingerprint, and stores values in two tiers —
-// an in-memory LRU and an on-disk directory of one file per key.
+// an in-memory LRU and a persistent BlobStore (by default a directory
+// of one file per key; any implementation of the interface slots in,
+// which is what lets shards on different machines share one store).
 //
 // Keys are *semantic*: the canonical bytes normalize away everything
 // the JSON readers already canonicalize (task IDs are positional,
@@ -25,12 +27,10 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"fmt"
-	"os"
-	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"storagesched/internal/dag"
 	"storagesched/internal/model"
@@ -123,46 +123,101 @@ func CanonicalGraph(g *dag.Graph) []byte {
 // Config parameterizes a Cache.
 type Config struct {
 	// Dir enables the on-disk tier: one file per key under this
-	// directory (created if absent). Empty disables it.
+	// directory (created if absent), served through a DirStore. Empty
+	// disables it (unless Store supplies another persistent tier).
 	Dir string
 
-	// MemEntries bounds the in-memory LRU tier. 0 means
+	// Store, when non-nil, is the persistent tier behind the memory
+	// LRU — any BlobStore, not just a directory. It takes precedence
+	// over Dir. The cache's contracts (atomic writes, corruption
+	// tolerance) hold exactly as far as the store keeps its own.
+	Store BlobStore
+
+	// MemEntries bounds the in-memory LRU tier's entry count. 0 means
 	// DefaultMemEntries; negative disables the memory tier entirely
-	// (disk-only, useful when many shard processes share Dir).
+	// (store-only, useful when many shard processes share Dir).
 	MemEntries int
+
+	// MemBytes bounds the in-memory LRU tier's resident bytes. 0
+	// means DefaultMemBytes; negative means no byte bound (entry
+	// count alone governs). A single value larger than the budget is
+	// never promoted to memory — it is still served from the
+	// persistent tier.
+	MemBytes int64
+
+	// MaxBytes and MaxAge are the lifecycle defaults a GC sweep with
+	// a zero GCPolicy enforces on the persistent tier: total bytes
+	// capped at MaxBytes (oldest entries evicted first), entries
+	// older than MaxAge evicted regardless. Zero leaves the axis
+	// unbounded. They bound nothing by themselves — something must
+	// call GC (schedd's background ticker, `schedcli cache gc`).
+	MaxBytes int64
+	MaxAge   time.Duration
 }
 
-// DefaultMemEntries is the memory-tier capacity when Config.MemEntries
-// is zero.
+// DefaultMemEntries is the memory-tier entry capacity when
+// Config.MemEntries is zero.
 const DefaultMemEntries = 4096
+
+// DefaultMemBytes is the memory-tier byte budget when Config.MemBytes
+// is zero: the entry-count bound alone would admit arbitrarily large
+// values (a disk hit used to promote unconditionally), so the byte
+// budget is what actually bounds resident memory.
+const DefaultMemBytes int64 = 64 << 20
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	// Hits and Misses count Get outcomes; Hits = MemHits + DiskHits.
 	Hits, Misses int64
-	// MemHits and DiskHits attribute hits to their tier.
+	// MemHits and DiskHits attribute hits to their tier (DiskHits
+	// counts the persistent BlobStore tier, whatever backs it).
 	MemHits, DiskHits int64
 	// Puts counts stored values; Evictions counts LRU removals.
 	Puts, Evictions int64
 	// WriteErrors counts failed best-effort disk writes (the cache
 	// stays correct — the entry is simply absent).
 	WriteErrors int64
+	// MemBytes is the memory tier's resident bytes right now.
+	MemBytes int64
+	// GCRuns counts lifecycle sweeps (Cache.GC calls).
+	GCRuns int64
+	// GCEvictions and GCEvictedBytes count persistent-tier entries
+	// (and their bytes) removed by lifecycle sweeps' age/size caps.
+	GCEvictions, GCEvictedBytes int64
+	// GCTmpRemoved counts orphaned write intermediates collected.
+	GCTmpRemoved int64
+	// GCVerifyRemoved counts garbage entries deleted by Verify.
+	GCVerifyRemoved int64
 }
 
 // Cache is the two-tier content-addressed store. The zero value is not
 // usable; construct with New. A nil *Cache is a valid "caching off"
 // value: Get always misses and Put is a no-op.
 type Cache struct {
-	dir string
+	dir   string    // Dir-configured store location ("" when Store or memory-only)
+	store BlobStore // persistent tier; nil falls back to dir (see blob)
 
-	mu      sync.Mutex
-	entries map[Key]*entry
-	head    *entry // most recently used
-	tail    *entry // least recently used
-	cap     int
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	cap      int
+	memBytes int64 // byte budget; <= 0 means unbounded
+	bytes    int64 // resident memory-tier bytes
 
-	hits, misses, memHits, diskHits atomic.Int64
-	puts, evictions, writeErrors    atomic.Int64
+	pol lifecycleDefaults
+
+	hits, misses, memHits, diskHits     atomic.Int64
+	puts, evictions, writeErrors        atomic.Int64
+	gcRuns, gcEvictions, gcEvictedBytes atomic.Int64
+	gcTmpRemoved, gcVerifyRemoved       atomic.Int64
+}
+
+// lifecycleDefaults are the Config-supplied caps a zero GCPolicy
+// resolves to.
+type lifecycleDefaults struct {
+	maxBytes int64
+	maxAge   time.Duration
 }
 
 // entry is one memory-tier value on the intrusive LRU list.
@@ -174,7 +229,7 @@ type entry struct {
 
 // New builds a cache from cfg, creating the disk directory when one is
 // configured. At least one tier is always active (MemEntries defaults
-// when no directory is given either).
+// when no persistent tier is given either).
 func New(cfg Config) (*Cache, error) {
 	capN := cfg.MemEntries
 	if capN == 0 {
@@ -183,22 +238,47 @@ func New(cfg Config) (*Cache, error) {
 	if capN < 0 {
 		capN = 0
 	}
-	if cfg.Dir == "" && capN == 0 {
-		// Disk-only was requested without a disk tier; a cache with no
-		// tier at all would silently never hit, so keep the documented
-		// invariant instead: the memory tier stays on at its default.
+	if cfg.Dir == "" && cfg.Store == nil && capN == 0 {
+		// Store-only was requested without a persistent tier; a cache
+		// with no tier at all would silently never hit, so keep the
+		// documented invariant instead: the memory tier stays on at
+		// its default.
 		capN = DefaultMemEntries
 	}
-	if cfg.Dir != "" {
-		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-			return nil, fmt.Errorf("cache: creating %s: %w", cfg.Dir, err)
-		}
+	memBytes := cfg.MemBytes
+	if memBytes == 0 {
+		memBytes = DefaultMemBytes
 	}
-	c := &Cache{dir: cfg.Dir, cap: capN}
+	c := &Cache{
+		store:    cfg.Store,
+		cap:      capN,
+		memBytes: memBytes,
+		pol:      lifecycleDefaults{maxBytes: cfg.MaxBytes, maxAge: cfg.MaxAge},
+	}
+	if cfg.Store == nil && cfg.Dir != "" {
+		st, err := NewDirStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		c.dir = cfg.Dir
+		c.store = st
+	}
 	if capN > 0 {
 		c.entries = make(map[Key]*entry)
 	}
 	return c, nil
+}
+
+// blob returns the persistent tier, deriving a DirStore on the fly for
+// caches assembled from a bare dir (the in-package tests' shortcut).
+func (c *Cache) blob() BlobStore {
+	if c.store != nil {
+		return c.store
+	}
+	if c.dir != "" {
+		return DirStore{dir: c.dir}
+	}
+	return nil
 }
 
 // Get returns the value stored at key. A memory hit refreshes the
@@ -220,9 +300,8 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 		}
 		c.mu.Unlock()
 	}
-	if c.dir != "" {
-		val, err := os.ReadFile(c.path(key))
-		if err == nil && len(val) > 0 {
+	if st := c.blob(); st != nil {
+		if val, ok := st.Get(key); ok && len(val) > 0 {
 			c.promote(key, val)
 			c.hits.Add(1)
 			c.diskHits.Add(1)
@@ -243,23 +322,11 @@ func (c *Cache) Put(key Key, val []byte) {
 	}
 	c.puts.Add(1)
 	c.promote(key, val)
-	if c.dir == "" {
+	st := c.blob()
+	if st == nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
-	if err != nil {
-		c.writeErrors.Add(1)
-		return
-	}
-	_, werr := tmp.Write(val)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		c.writeErrors.Add(1)
-		return
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
+	if err := st.Put(key, val); err != nil {
 		c.writeErrors.Add(1)
 	}
 }
@@ -270,13 +337,19 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		MemHits:     c.memHits.Load(),
-		DiskHits:    c.diskHits.Load(),
-		Puts:        c.puts.Load(),
-		Evictions:   c.evictions.Load(),
-		WriteErrors: c.writeErrors.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		MemHits:         c.memHits.Load(),
+		DiskHits:        c.diskHits.Load(),
+		Puts:            c.puts.Load(),
+		Evictions:       c.evictions.Load(),
+		WriteErrors:     c.writeErrors.Load(),
+		MemBytes:        c.MemBytes(),
+		GCRuns:          c.gcRuns.Load(),
+		GCEvictions:     c.gcEvictions.Load(),
+		GCEvictedBytes:  c.gcEvictedBytes.Load(),
+		GCTmpRemoved:    c.gcTmpRemoved.Load(),
+		GCVerifyRemoved: c.gcVerifyRemoved.Load(),
 	}
 }
 
@@ -291,31 +364,50 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// path is the disk location of a key.
+// MemBytes returns the memory tier's resident bytes.
+func (c *Cache) MemBytes() int64 {
+	if c == nil || c.cap == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// path is the disk location of a key under a Dir-configured store.
 func (c *Cache) path(key Key) string {
-	return filepath.Join(c.dir, key.String()+".json")
+	return DirStore{dir: c.dir}.path(key)
 }
 
 // promote inserts (or refreshes) a memory-tier entry, evicting from
-// the LRU tail past capacity.
+// the LRU tail past the entry-count cap or the byte budget. A single
+// value larger than the whole byte budget is refused — promoting it
+// would evict the entire tier for one entry — but remains a valid hit
+// from the persistent tier.
 func (c *Cache) promote(key Key, val []byte) {
 	if c.cap == 0 {
+		return
+	}
+	if c.memBytes > 0 && int64(len(val)) > c.memBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
+		c.bytes += int64(len(val)) - int64(len(e.val))
 		e.val = val
 		c.moveToFront(e)
-		return
+	} else {
+		e := &entry{key: key, val: val}
+		c.entries[key] = e
+		c.pushFront(e)
+		c.bytes += int64(len(val))
 	}
-	e := &entry{key: key, val: val}
-	c.entries[key] = e
-	c.pushFront(e)
-	for len(c.entries) > c.cap {
+	for len(c.entries) > c.cap || (c.memBytes > 0 && c.bytes > c.memBytes) {
 		lru := c.tail
 		c.unlink(lru)
 		delete(c.entries, lru.key)
+		c.bytes -= int64(len(lru.val))
 		c.evictions.Add(1)
 	}
 }

@@ -42,4 +42,22 @@ func (c *Cache) RegisterMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("sched_cache_write_errors_total",
 		"failed best-effort disk writes (the entry stays absent)",
 		c.writeErrors.Load)
+	reg.GaugeFunc("sched_cache_mem_bytes",
+		"memory-tier resident bytes right now",
+		c.MemBytes)
+	reg.CounterFunc("sched_cache_gc_runs_total",
+		"lifecycle eviction sweeps run",
+		c.gcRuns.Load)
+	reg.CounterFunc("sched_cache_gc_evicted_entries_total",
+		"persistent-tier entries evicted by gc age/size caps",
+		c.gcEvictions.Load)
+	reg.CounterFunc("sched_cache_gc_evicted_bytes_total",
+		"bytes evicted by gc age/size caps",
+		c.gcEvictedBytes.Load)
+	reg.CounterFunc("sched_cache_gc_tmp_removed_total",
+		"orphaned write intermediates collected by gc",
+		c.gcTmpRemoved.Load)
+	reg.CounterFunc("sched_cache_gc_verify_removed_total",
+		"garbage entries deleted by integrity verification",
+		c.gcVerifyRemoved.Load)
 }

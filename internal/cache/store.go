@@ -1,0 +1,237 @@
+package cache
+
+// The blob-store seam. The disk tier used to be welded to os.ReadFile
+// and os.Rename, which made the cache single-machine by construction:
+// shards on different hosts could only share a warm cache through a
+// shared filesystem. BlobStore extracts the five operations the cache
+// and its lifecycle actually need, DirStore keeps today's directory
+// layout as the first implementation, and a remote store (object
+// storage, a cache service) can slot in via Config.Store without the
+// Cache, the engine or the lifecycle sweep changing at all.
+//
+// The contract every implementation must keep is the one the disk tier
+// established: Put is atomic (a concurrent Get sees the whole value or
+// a miss, never a torn prefix) and Get is corruption-tolerant (absent,
+// truncated-to-empty or unreadable blobs report a miss, not an error).
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// BlobInfo describes one stored blob: its key plus the metadata the
+// lifecycle sweep ranks entries by.
+type BlobInfo struct {
+	// Key is the blob's content address.
+	Key Key
+	// Size is the stored value's length in bytes.
+	Size int64
+	// ModTime is when the blob was last written — the age axis of the
+	// eviction sweep.
+	ModTime time.Time
+}
+
+// BlobStore is the storage seam behind the cache's persistent tier.
+// Implementations must be safe for concurrent use, including across
+// processes where the medium allows it (DirStore relies on atomic
+// renames for exactly that).
+type BlobStore interface {
+	// Get returns the value stored at key. Absent, empty or unreadable
+	// blobs are a miss (false), never an error: callers recompute and
+	// overwrite.
+	Get(key Key) ([]byte, bool)
+
+	// Put atomically stores val at key: a reader never observes a torn
+	// value. Errors are reported so callers can count them, but a
+	// failed Put must leave the store consistent (the old value, or
+	// absence — not a partial write).
+	Put(key Key, val []byte) error
+
+	// List enumerates the stored blobs in deterministic (key) order.
+	// Blobs written or deleted concurrently may or may not appear.
+	List() ([]BlobInfo, error)
+
+	// Stat returns the metadata of the blob at key, or false when it
+	// is absent or unusable.
+	Stat(key Key) (BlobInfo, bool)
+
+	// Delete removes the blob at key. Deleting an absent blob is not
+	// an error — concurrent sweeps race benignly.
+	Delete(key Key) error
+}
+
+// TmpSweeper is implemented by stores whose atomic Put can strand
+// intermediate state on a crash (DirStore's put-*.tmp files). The
+// lifecycle sweep uses it to collect orphans old enough that no live
+// writer can still own them.
+type TmpSweeper interface {
+	// SweepOrphans removes write intermediates last modified before
+	// olderThan and reports how many it removed. In-flight writes —
+	// younger than the cutoff — must survive.
+	SweepOrphans(olderThan time.Time) (removed int, err error)
+}
+
+// tmpPattern names DirStore's write intermediates; SweepOrphans globs
+// for exactly this shape.
+const tmpPattern = "put-*.tmp"
+
+// blobSuffix is the file suffix of one stored entry under a DirStore.
+const blobSuffix = ".json"
+
+// DirStore is the directory-backed BlobStore: one file per key,
+// written via temp file + rename so concurrent readers — including
+// shard subprocesses sharing the directory — never observe a torn
+// entry. The zero value is not usable; construct with NewDirStore.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if absent) a directory blob store.
+func NewDirStore(dir string) (DirStore, error) {
+	if dir == "" {
+		return DirStore{}, errors.New("cache: blob store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return DirStore{}, fmt.Errorf("cache: creating %s: %w", dir, err)
+	}
+	return DirStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s DirStore) Dir() string { return s.dir }
+
+// path is the file location of a key.
+func (s DirStore) path(key Key) string {
+	return filepath.Join(s.dir, key.String()+blobSuffix)
+}
+
+// parseBlobName recovers the key from an entry file name; ok is false
+// for anything that is not a full-length lowercase-hex key plus the
+// blob suffix (tmp files, strays).
+func parseBlobName(name string) (Key, bool) {
+	var key Key
+	stem, found := strings.CutSuffix(name, blobSuffix)
+	if !found || len(stem) != hex.EncodedLen(len(key)) {
+		return Key{}, false
+	}
+	raw, err := hex.DecodeString(stem)
+	if err != nil {
+		return Key{}, false
+	}
+	copy(key[:], raw)
+	// Round-trip guard: hex.DecodeString accepts uppercase, but keys
+	// render lowercase; a mixed-case stray must not alias a key.
+	if key.String() != stem {
+		return Key{}, false
+	}
+	return key, true
+}
+
+// Get implements BlobStore: any problem — absent, unreadable, empty —
+// is a miss.
+func (s DirStore) Get(key Key) ([]byte, bool) {
+	val, err := os.ReadFile(s.path(key))
+	if err != nil || len(val) == 0 {
+		return nil, false
+	}
+	return val, true
+}
+
+// Put implements BlobStore: temp file + rename, so a concurrent Get
+// (in this process or a shard subprocess sharing the directory) sees
+// the whole value or a miss.
+func (s DirStore) Put(key Key, val []byte) error {
+	tmp, err := os.CreateTemp(s.dir, tmpPattern)
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(val)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// List implements BlobStore: every regular file named like an entry,
+// in key order (os.ReadDir sorts by name, and names are the keys'
+// fixed-width hex). Empty files — torn truncations — are listed with
+// Size 0 so the lifecycle can collect them; Get still reports them as
+// misses.
+func (s DirStore) List() ([]BlobInfo, error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: listing %s: %w", s.dir, err)
+	}
+	infos := make([]BlobInfo, 0, len(des))
+	for _, de := range des {
+		key, ok := parseBlobName(de.Name())
+		if !ok || de.IsDir() {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil || !fi.Mode().IsRegular() {
+			// Deleted between ReadDir and Info (a racing sweep), or a
+			// stray non-file: skip, don't fail the listing.
+			continue
+		}
+		infos = append(infos, BlobInfo{Key: key, Size: fi.Size(), ModTime: fi.ModTime()})
+	}
+	return infos, nil
+}
+
+// Stat implements BlobStore.
+func (s DirStore) Stat(key Key) (BlobInfo, bool) {
+	fi, err := os.Stat(s.path(key))
+	if err != nil || !fi.Mode().IsRegular() {
+		return BlobInfo{}, false
+	}
+	return BlobInfo{Key: key, Size: fi.Size(), ModTime: fi.ModTime()}, true
+}
+
+// Delete implements BlobStore; an already-absent blob is success.
+func (s DirStore) Delete(key Key) error {
+	if err := os.Remove(s.path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// SweepOrphans implements TmpSweeper: put-*.tmp files are normally
+// renamed away or removed by the writer, so one last modified before
+// olderThan can only be the leavings of a process that died mid-Put.
+// Younger tmp files belong to in-flight writes and survive.
+func (s DirStore) SweepOrphans(olderThan time.Time) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, tmpPattern))
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, name := range matches {
+		fi, err := os.Stat(name)
+		if err != nil || !fi.Mode().IsRegular() {
+			continue
+		}
+		if !fi.ModTime().Before(olderThan) {
+			continue
+		}
+		if err := os.Remove(name); err == nil || errors.Is(err, fs.ErrNotExist) {
+			removed++
+		}
+	}
+	return removed, nil
+}

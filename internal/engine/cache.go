@@ -149,6 +149,16 @@ func encodeResult(res *Result) ([]byte, error) {
 	return json.Marshal(wr)
 }
 
+// CheckCachedResult reports whether data decodes as a cached sweep
+// Result — the integrity check `schedcli cache verify` and the cache
+// lifecycle run over stored entries. Any defect the decoder would
+// treat as a miss (wrong version, malformed JSON, out-of-range front
+// witness) is the returned error.
+func CheckCachedResult(data []byte) error {
+	_, err := decodeResult(data)
+	return err
+}
+
 // decodeResult deserializes a cached Result. Any defect — wrong
 // version, malformed JSON, out-of-range front witness — is an error,
 // which callers treat as a cache miss and recompute.

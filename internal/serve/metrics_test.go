@@ -109,15 +109,21 @@ func TestMetricsCacheStatsParity(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var js struct {
-		Enabled     bool  `json:"enabled"`
-		Entries     int64 `json:"entries"`
-		Hits        int64 `json:"hits"`
-		MemHits     int64 `json:"mem_hits"`
-		DiskHits    int64 `json:"disk_hits"`
-		Misses      int64 `json:"misses"`
-		Puts        int64 `json:"puts"`
-		Evictions   int64 `json:"evictions"`
-		WriteErrors int64 `json:"write_errors"`
+		Enabled         bool  `json:"enabled"`
+		Entries         int64 `json:"entries"`
+		MemBytes        int64 `json:"mem_bytes"`
+		Hits            int64 `json:"hits"`
+		MemHits         int64 `json:"mem_hits"`
+		DiskHits        int64 `json:"disk_hits"`
+		Misses          int64 `json:"misses"`
+		Puts            int64 `json:"puts"`
+		Evictions       int64 `json:"evictions"`
+		WriteErrors     int64 `json:"write_errors"`
+		GCRuns          int64 `json:"gc_runs"`
+		GCEvictions     int64 `json:"gc_evictions"`
+		GCEvictedBytes  int64 `json:"gc_evicted_bytes"`
+		GCTmpRemoved    int64 `json:"gc_tmp_removed"`
+		GCVerifyRemoved int64 `json:"gc_verify_removed"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
 		t.Fatal(err)
@@ -131,14 +137,20 @@ func TestMetricsCacheStatsParity(t *testing.T) {
 
 	samples, _ := scrapeMetrics(t, srv.URL)
 	for key, want := range map[string]int64{
-		"sched_cache_entries":            js.Entries,
-		"sched_cache_hits_total":         js.Hits,
-		"sched_cache_mem_hits_total":     js.MemHits,
-		"sched_cache_disk_hits_total":    js.DiskHits,
-		"sched_cache_misses_total":       js.Misses,
-		"sched_cache_puts_total":         js.Puts,
-		"sched_cache_evictions_total":    js.Evictions,
-		"sched_cache_write_errors_total": js.WriteErrors,
+		"sched_cache_entries":                  js.Entries,
+		"sched_cache_mem_bytes":                js.MemBytes,
+		"sched_cache_hits_total":               js.Hits,
+		"sched_cache_mem_hits_total":           js.MemHits,
+		"sched_cache_disk_hits_total":          js.DiskHits,
+		"sched_cache_misses_total":             js.Misses,
+		"sched_cache_puts_total":               js.Puts,
+		"sched_cache_evictions_total":          js.Evictions,
+		"sched_cache_write_errors_total":       js.WriteErrors,
+		"sched_cache_gc_runs_total":            js.GCRuns,
+		"sched_cache_gc_evicted_entries_total": js.GCEvictions,
+		"sched_cache_gc_evicted_bytes_total":   js.GCEvictedBytes,
+		"sched_cache_gc_tmp_removed_total":     js.GCTmpRemoved,
+		"sched_cache_gc_verify_removed_total":  js.GCVerifyRemoved,
 	} {
 		if got := sampleInt(t, samples, key); got != want {
 			t.Errorf("%s = %d, /v1/cache/stats says %d", key, got, want)

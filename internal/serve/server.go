@@ -526,29 +526,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // session cache counters, plus whether caching is enabled at all.
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 	type statsBody struct {
-		Enabled     bool  `json:"enabled"`
-		Entries     int   `json:"entries"`
-		Hits        int64 `json:"hits"`
-		MemHits     int64 `json:"mem_hits"`
-		DiskHits    int64 `json:"disk_hits"`
-		Misses      int64 `json:"misses"`
-		Puts        int64 `json:"puts"`
-		Evictions   int64 `json:"evictions"`
-		WriteErrors int64 `json:"write_errors"`
+		Enabled         bool  `json:"enabled"`
+		Entries         int   `json:"entries"`
+		MemBytes        int64 `json:"mem_bytes"`
+		Hits            int64 `json:"hits"`
+		MemHits         int64 `json:"mem_hits"`
+		DiskHits        int64 `json:"disk_hits"`
+		Misses          int64 `json:"misses"`
+		Puts            int64 `json:"puts"`
+		Evictions       int64 `json:"evictions"`
+		WriteErrors     int64 `json:"write_errors"`
+		GCRuns          int64 `json:"gc_runs"`
+		GCEvictions     int64 `json:"gc_evictions"`
+		GCEvictedBytes  int64 `json:"gc_evicted_bytes"`
+		GCTmpRemoved    int64 `json:"gc_tmp_removed"`
+		GCVerifyRemoved int64 `json:"gc_verify_removed"`
 	}
 	var body statsBody
 	if c := s.session.Cache(); c != nil {
 		st := c.Stats()
 		body = statsBody{
-			Enabled:     true,
-			Entries:     c.Len(),
-			Hits:        st.Hits,
-			MemHits:     st.MemHits,
-			DiskHits:    st.DiskHits,
-			Misses:      st.Misses,
-			Puts:        st.Puts,
-			Evictions:   st.Evictions,
-			WriteErrors: st.WriteErrors,
+			Enabled:         true,
+			Entries:         c.Len(),
+			MemBytes:        st.MemBytes,
+			Hits:            st.Hits,
+			MemHits:         st.MemHits,
+			DiskHits:        st.DiskHits,
+			Misses:          st.Misses,
+			Puts:            st.Puts,
+			Evictions:       st.Evictions,
+			WriteErrors:     st.WriteErrors,
+			GCRuns:          st.GCRuns,
+			GCEvictions:     st.GCEvictions,
+			GCEvictedBytes:  st.GCEvictedBytes,
+			GCTmpRemoved:    st.GCTmpRemoved,
+			GCVerifyRemoved: st.GCVerifyRemoved,
 		}
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

@@ -118,6 +118,26 @@ func NewPlan(k int, policy Policy, items []engine.BatchItem) (*Plan, error) {
 	return p, nil
 }
 
+// Validate checks the plan's internal consistency: K is at least 1
+// and every placement is a shard in [0, K). Run, MergeJSONL and the
+// CLI's plan reader all validate before indexing by placement, so a
+// hand-edited or corrupted plan file reports a clean error instead of
+// panicking inside Locals.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return fmt.Errorf("shard: nil plan")
+	}
+	if p.K < 1 {
+		return fmt.Errorf("shard: plan has k = %d, need k >= 1", p.K)
+	}
+	for i, s := range p.Shards {
+		if s < 0 || s >= p.K {
+			return fmt.Errorf("shard: item %d placed on shard %d, want [0,%d)", i, s, p.K)
+		}
+	}
+	return nil
+}
+
 // Counts returns the number of items per shard.
 func (p *Plan) Counts() []int {
 	counts := make([]int, p.K)
@@ -151,8 +171,8 @@ func (p *Plan) Locals() [][]int {
 // unsharded batch; a shard-level failure (or an emit error) cancels
 // every shard and is returned.
 func Run(ctx context.Context, items []engine.BatchItem, plan *Plan, cfg engine.BatchConfig, emit func(engine.BatchResult) error) error {
-	if plan == nil {
-		return fmt.Errorf("shard: nil plan")
+	if err := plan.Validate(); err != nil {
+		return err
 	}
 	if len(plan.Shards) != len(items) {
 		return fmt.Errorf("shard: plan covers %d items, got %d", len(plan.Shards), len(items))
@@ -260,8 +280,8 @@ func Run(ctx context.Context, items []engine.BatchItem, plan *Plan, cfg engine.B
 // lines than its plan slice is an error, because a silent mismatch
 // would misattribute every later front to the wrong item.
 func MergeJSONL(w io.Writer, plan *Plan, shardOutputs []io.Reader, rewrite func(line []byte, globalIndex int) ([]byte, error)) error {
-	if plan == nil {
-		return fmt.Errorf("shard: nil plan")
+	if err := plan.Validate(); err != nil {
+		return err
 	}
 	if len(shardOutputs) != plan.K {
 		return fmt.Errorf("shard: %d outputs for %d shards", len(shardOutputs), plan.K)

@@ -456,7 +456,28 @@ type (
 	CacheConfig = cache.Config
 	// CacheStats is a snapshot of hit/miss/eviction counters.
 	CacheStats = cache.Stats
+	// CacheKey is a cache entry's content address.
+	CacheKey = cache.Key
+	// BlobStore is the storage seam behind the cache's persistent
+	// tier; set CacheConfig.Store to plug in a cluster-shared store.
+	BlobStore = cache.BlobStore
+	// BlobInfo describes one stored blob (key, size, mod time).
+	BlobInfo = cache.BlobInfo
+	// DirStore is the directory-backed BlobStore — one file per key,
+	// atomic via temp file + rename.
+	DirStore = cache.DirStore
+	// CacheGCPolicy parameterizes one lifecycle eviction sweep (size
+	// cap, age cap, orphaned-tmp cutoff).
+	CacheGCPolicy = cache.GCPolicy
+	// CacheGCResult reports what one eviction sweep saw and did.
+	CacheGCResult = cache.GCResult
+	// CacheVerifyResult reports what one integrity pass saw and did.
+	CacheVerifyResult = cache.VerifyResult
 )
+
+// NewDirStore opens (creating if absent) a directory blob store — the
+// same store CacheConfig.Dir builds implicitly.
+func NewDirStore(dir string) (DirStore, error) { return cache.NewDirStore(dir) }
 
 // NewSweepCache builds a front cache; wire it into a batch via
 // BatchConfig.Cache. Results served from it reproduce the front
